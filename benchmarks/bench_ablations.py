@@ -1,0 +1,178 @@
+"""Ablations over Nexit's design choices (in-text claims of Sections 4-5).
+
+* preference range P: "increasing the range does not lead to noticeable
+  increase in performance" beyond P = 10;
+* ordinal vs magnitude preferences (the minimum-disclosure option);
+* proposal policy: max-combined-sum vs best-local;
+* turn policy: alternating vs lower-gain vs coin toss.
+
+Timed kernel: one negotiation per ablation point.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import StaticCostEvaluator
+from repro.core.mapping import AutoScaleDeltaMapper, OrdinalMapper
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import (
+    AlternatingTurns,
+    BestLocalProposals,
+    CoinTossTurns,
+    LowerGainTurns,
+    MaxCombinedProposals,
+)
+from repro.experiments.distance import build_distance_problem
+from repro.metrics.distance import percent_gain
+from repro.routing.exits import optimal_exit_choices
+
+
+def _negotiate_with(problem, mapper_factory, config=None):
+    ev_a = StaticCostEvaluator(problem.cost_a, problem.defaults,
+                               mapper_factory())
+    ev_b = StaticCostEvaluator(problem.cost_b, problem.defaults,
+                               mapper_factory())
+    session = NegotiationSession(
+        NegotiationAgent("a", ev_a),
+        NegotiationAgent("b", ev_b),
+        defaults=problem.defaults,
+        config=config or SessionConfig(),
+    )
+    return session.run().choices
+
+
+def _gain(problem, choices):
+    tot_def, _, _ = problem.totals(problem.defaults)
+    tot, _, _ = problem.totals(choices)
+    return percent_gain(tot_def, tot)
+
+
+def test_preference_range_sweep(benchmark, sample_pair):
+    problem = build_distance_problem(sample_pair)
+    opt = np.concatenate(
+        [optimal_exit_choices(problem.table_ab),
+         optimal_exit_choices(problem.table_ba)]
+    )
+    optimal_gain = _gain(problem, opt)
+
+    def negotiate_p10():
+        return _negotiate_with(
+            problem,
+            lambda: AutoScaleDeltaMapper(PreferenceRange(10),
+                                         conservative=False, quantile=100.0),
+        )
+
+    benchmark.pedantic(negotiate_p10, rounds=1, iterations=1)
+
+    lines = ["", "== Ablation: preference class range P "
+             f"(pair {sample_pair.name}, optimal gain {optimal_gain:.2f}%) =="]
+    for p in (1, 2, 5, 10, 20, 50):
+        choices = _negotiate_with(
+            problem,
+            lambda p=p: AutoScaleDeltaMapper(PreferenceRange(p),
+                                             conservative=False,
+                                             quantile=100.0),
+        )
+        lines.append(f"  P = {p:3d}: negotiated total gain "
+                     f"{_gain(problem, choices):6.2f}%")
+    lines.append("  (gains plateau around P = 10, matching the paper's "
+                 "'increasing the range does not lead to noticeable "
+                 "increase in performance')")
+    emit("\n".join(lines))
+
+
+def test_ordinal_preferences(benchmark, sample_pair):
+    """The minimum-information disclosure option still negotiates."""
+    problem = build_distance_problem(sample_pair)
+    magnitude = _negotiate_with(
+        problem,
+        lambda: AutoScaleDeltaMapper(PreferenceRange(10),
+                                     conservative=False, quantile=100.0),
+    )
+    ordinal = benchmark.pedantic(
+        _negotiate_with,
+        args=(problem, lambda: OrdinalMapper(PreferenceRange(10))),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "\n== Ablation: ordinal (rank-only) preferences ==\n"
+        f"  magnitude classes: total gain {_gain(problem, magnitude):6.2f}%\n"
+        f"  ordinal classes:   total gain {_gain(problem, ordinal):6.2f}%\n"
+        "  (ordinal preferences disclose less and give up part of the gain)"
+    )
+
+
+def test_credits_across_epochs(benchmark):
+    """Section 3's future-work idea: decouple compromises in time.
+
+    Two mirrored one-sided epochs. Without credit the strict per-session
+    win-win rule forfeits everything; with a small credit line the early
+    concession is repaid later and both ISPs end positive.
+    """
+    from repro.core.credits import CreditLedger, CreditSessionRunner
+    from repro.core.evaluators import StaticPreferenceEvaluator
+
+    def agent(name, prefs):
+        prefs = np.asarray(prefs)
+        return NegotiationAgent(
+            name,
+            StaticPreferenceEvaluator(prefs, np.zeros(prefs.shape[0], int)),
+        )
+
+    epoch_1 = ([[0, -2]], [[0, 5]])
+    epoch_2 = ([[0, 5]], [[0, -2]])
+
+    def run(limit):
+        runner = CreditSessionRunner(CreditLedger(credit_limit=limit))
+        runner.run_epoch(agent("a", epoch_1[0]), agent("b", epoch_1[1]))
+        runner.run_epoch(agent("a", epoch_2[0]), agent("b", epoch_2[1]))
+        return runner.total_gains()
+
+    gains_with = benchmark.pedantic(run, args=(2.0,), rounds=1, iterations=1)
+    gains_without = run(0.0)
+    emit(
+        "\n== Extension: credits across sessions (Section 3 future work) ==\n"
+        f"  credit limit 0 (strict win-win): cumulative gains {gains_without}\n"
+        f"  credit limit 2:                  cumulative gains "
+        f"({gains_with[0]:.0f}, {gains_with[1]:.0f})\n"
+        "  (a bounded concession now, repaid later, unlocks the trades the "
+        "per-session rule forfeits)"
+    )
+    assert gains_with[0] > 0 and gains_with[1] > 0
+    assert gains_without == (0.0, 0.0)
+
+
+def test_proposal_and_turn_policies(benchmark, sample_pair):
+    problem = build_distance_problem(sample_pair)
+    mapper = lambda: AutoScaleDeltaMapper(PreferenceRange(10),  # noqa: E731
+                                          conservative=False, quantile=100.0)
+    benchmark.pedantic(
+        _negotiate_with,
+        args=(problem, mapper),
+        kwargs={"config": SessionConfig(proposal_policy=BestLocalProposals())},
+        rounds=1,
+        iterations=1,
+    )
+    variants = {
+        "alternate + max-combined (paper)": SessionConfig(),
+        "alternate + best-local": SessionConfig(
+            proposal_policy=BestLocalProposals()
+        ),
+        "lower-gain turns": SessionConfig(turn_policy=LowerGainTurns()),
+        "coin-toss turns": SessionConfig(turn_policy=CoinTossTurns(1)),
+        "alternating, B first": SessionConfig(
+            turn_policy=AlternatingTurns(first=1),
+            proposal_policy=MaxCombinedProposals(),
+        ),
+    }
+    lines = ["", "== Ablation: protocol-step policies "
+             f"(pair {sample_pair.name}) =="]
+    for name, config in variants.items():
+        choices = _negotiate_with(problem, mapper, config=config)
+        lines.append(f"  {name:34s}: total gain "
+                     f"{_gain(problem, choices):6.2f}%")
+    emit("\n".join(lines))

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not a paper figure — engineering numbers for the components every
+experiment leans on: Dijkstra/cost-table construction, preference mapping,
+the session round loop, link-load accumulation, and the min-max LP.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capacity.loads import link_loads
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import StaticCostEvaluator
+from repro.core.mapping import AutoScaleDeltaMapper
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession
+from repro.optimal.bandwidth_lp import solve_min_max_load_lp
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices
+from repro.routing.flows import build_full_flowset
+from repro.routing.paths import IntradomainRouting
+
+
+@pytest.fixture(scope="module")
+def table(sample_pair):
+    return build_pair_cost_table(sample_pair, build_full_flowset(sample_pair))
+
+
+def test_cost_table_build(benchmark, sample_pair):
+    flowset = build_full_flowset(sample_pair)
+
+    def build():
+        return build_pair_cost_table(sample_pair, flowset)
+
+    result = benchmark(build)
+    assert result.n_flows == len(flowset)
+
+
+def test_sssp_warm(benchmark, sample_pair):
+    def warm():
+        routing = IntradomainRouting(sample_pair.isp_a)
+        routing.warm(range(sample_pair.isp_a.n_pops()))
+        return routing
+
+    benchmark(warm)
+
+
+def test_preference_mapping(benchmark, table):
+    mapper = AutoScaleDeltaMapper(PreferenceRange(10))
+    defaults = early_exit_choices(table)
+
+    result = benchmark(mapper.map, table.up_km, defaults)
+    assert result.shape == table.up_km.shape
+
+
+def test_session_round_loop(benchmark, table):
+    defaults = early_exit_choices(table)
+    mapper = AutoScaleDeltaMapper(PreferenceRange(10), conservative=False,
+                                  quantile=100.0)
+    cost_a = table.up_km
+    cost_b = table.down_km
+
+    def run_session():
+        session = NegotiationSession(
+            NegotiationAgent("a", StaticCostEvaluator(cost_a, defaults, mapper)),
+            NegotiationAgent("b", StaticCostEvaluator(cost_b, defaults, mapper)),
+            defaults=defaults,
+        )
+        return session.run()
+
+    outcome = benchmark(run_session)
+    assert outcome.gain_a >= 0
+
+
+def test_link_load_accumulation(benchmark, table):
+    choices = early_exit_choices(table)
+    loads = benchmark(link_loads, table, choices, "a")
+    assert loads.shape == (table.pair.isp_a.n_links(),)
+
+
+def test_min_max_lp(benchmark, table):
+    caps_a = np.full(table.pair.isp_a.n_links(), 10.0)
+    caps_b = np.full(table.pair.isp_b.n_links(), 10.0)
+
+    result = benchmark(solve_min_max_load_lp, table, caps_a, caps_b)
+    assert result.t >= 0

@@ -1,0 +1,80 @@
+"""Figure 10: the impact of cheating on the distance experiment.
+
+One ISP (A) inflates its preferences with perfect knowledge of B's list.
+Regenerates both panels: total gain (both truthful vs one cheater) and
+individual gains (cheater vs truthful). Timed kernel: one cheating
+negotiation.
+"""
+
+from conftest import emit
+
+from repro.core.preferences import PreferenceRange
+from repro.experiments.distance import _negotiate, build_distance_problem
+from repro.experiments.report import format_claims, format_series_table
+
+
+def test_figure10_cheating_distance(benchmark, distance_results, sample_pair,
+                                    config):
+    problem = build_distance_problem(sample_pair)
+    p_range = PreferenceRange(config.preference_p)
+    benchmark.pedantic(
+        _negotiate, args=(problem, p_range), kwargs={"cheater": True},
+        rounds=1, iterations=1,
+    )
+
+    res = distance_results
+    emit("")
+    emit(format_series_table(
+        "Figure 10a: total % gain, both-truthful vs one-cheater (CDF)",
+        [res.cdf_total_gain("negotiated"), res.cdf_total_gain("cheating")],
+    ))
+    emit(format_series_table(
+        "Figure 10b: individual % gain under cheating (CDF)",
+        [
+            res.cdf_individual_gain("negotiated"),
+            res.cdf_individual_gain("cheater"),
+            res.cdf_individual_gain("truthful"),
+        ],
+    ))
+    truthful = res.cdf_individual_gain("truthful")
+    cheater = res.cdf_individual_gain("cheater")
+    both = res.cdf_total_gain("negotiated")
+    cheat_total = res.cdf_total_gain("cheating")
+    pairs_where_cheater_worse = sum(
+        1 for p in res.pairs
+        if p.gain_cheater is not None
+        and p.gain_cheater < p.gain_a_negotiated - 1e-9
+    )
+    emit(format_claims(
+        "Figure 10 headline claims",
+        [
+            (
+                "cheating significantly reduces the gain of the truthful ISP",
+                f"truthful median gain {truthful.median():.2f}% under "
+                f"cheating vs {res.cdf_individual_gain('negotiated').median():.2f}% "
+                f"when both are truthful",
+            ),
+            (
+                "cheating also reduces the total gain",
+                f"median total: both-truthful {both.median():.2f}% vs "
+                f"one-cheater {cheat_total.median():.2f}%",
+            ),
+            (
+                "the cheater may lose compared to being truthful "
+                "(premature termination) — partially reproduced: our "
+                "fine-grained mapping preserves the proposal order, so the "
+                "cheater is roughly neutral rather than strictly losing "
+                "(see EXPERIMENTS.md)",
+                f"cheater median {cheater.median():.2f}%; cheating hurt the "
+                f"cheater in {pairs_where_cheater_worse}/{len(res.pairs)} "
+                f"pairs",
+            ),
+            (
+                "a cheating ISP can never cause the truthful ISP to lose",
+                f"worst truthful gain under cheating: {truthful.min():.3f}%",
+            ),
+        ],
+    ))
+
+    assert truthful.min() >= -1e-9
+    assert cheat_total.median() <= both.median() + 1e-9

@@ -1,0 +1,62 @@
+"""Figure 5: per-flow filtering strategies are nearly worthless.
+
+Regenerates the CDF of total gains for flow-Pareto and flow-both-better,
+plus the in-text grouped-negotiation ablation. Timed kernel: the flow-Pareto
+baseline on one pair's stacked problem.
+"""
+
+from conftest import emit
+
+from repro.baselines.flow_strategies import flow_pareto_choices
+from repro.experiments.distance import build_distance_problem, run_grouped_ablation
+from repro.experiments.report import format_claims, format_series_table
+
+
+def test_figure5_flow_strategies(benchmark, distance_results, sample_pair,
+                                 config):
+    problem = build_distance_problem(sample_pair)
+    benchmark.pedantic(
+        flow_pareto_choices,
+        args=(problem.cost_a, problem.cost_b, problem.defaults),
+        kwargs={"seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+
+    res = distance_results
+    emit("")
+    emit(format_series_table(
+        "Figure 5: total % gain of per-flow strategies (CDF over pairs)",
+        [
+            res.cdf_total_gain("flow_pareto"),
+            res.cdf_total_gain("flow_both_better"),
+            res.cdf_total_gain("negotiated"),
+        ],
+    ))
+    emit(format_claims(
+        "Figure 5 headline claims",
+        [
+            (
+                "seemingly reasonable per-flow strategies are not effective; "
+                "their cost is close to the default itself",
+                f"median gains: flow-Pareto "
+                f"{res.cdf_total_gain('flow_pareto').median():.2f}%, "
+                f"flow-both-better "
+                f"{res.cdf_total_gain('flow_both_better').median():.2f}%, "
+                f"negotiated {res.median_total_gain('negotiated'):.2f}%",
+            ),
+        ],
+    ))
+
+    # The grouped-negotiation in-text ablation on the sample pair.
+    gains = run_grouped_ablation(sample_pair, [1, 2, 4, 8, 16], config)
+    lines = ["-- in-text ablation: negotiating in separate groups "
+             f"(pair {sample_pair.name}) --"]
+    for n_groups, gain in sorted(gains.items()):
+        lines.append(f"  {n_groups:3d} group(s): total gain {gain:6.2f}%")
+    lines.append("  (negotiating over the entire set dominates)")
+    emit("\n".join(lines))
+
+    assert res.cdf_total_gain("flow_both_better").median() <= (
+        res.median_total_gain("negotiated") + 1e-9
+    )

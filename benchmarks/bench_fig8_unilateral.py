@@ -1,0 +1,71 @@
+"""Figure 8: unilateral upstream optimization hurts the downstream.
+
+Regenerates the CDF over failures of the downstream ISP's MEL under
+upstream-centric optimization relative to default routing; values above one
+mean the "helpful" upstream made things worse. Timed kernel: the unilateral
+LP solve on one failure case.
+"""
+
+import numpy as np
+
+from conftest import emit
+
+from repro.capacity.loads import link_loads
+from repro.capacity.provisioning import ProportionalCapacity
+from repro.experiments.report import format_claims, format_series_table
+from repro.optimal.unilateral import solve_upstream_unilateral_lp
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices
+from repro.routing.flows import build_full_flowset
+
+
+def test_figure8_unilateral(benchmark, bandwidth_results, sample_pair,
+                            workload):
+    # Timed kernel: the upstream-only LP on the sample pair's first failure.
+    pair = sample_pair
+    size_fn = workload.size_fn(pair)
+    flowset = build_full_flowset(pair, size_fn)
+    table = build_pair_cost_table(pair, flowset)
+    default = early_exit_choices(table)
+    prov = ProportionalCapacity()
+    caps_a = prov.capacities(link_loads(table, default, "a"))
+    caps_b = prov.capacities(link_loads(table, default, "b"))
+    failed = pair.without_interconnection(0)
+    post_fs = build_full_flowset(failed, size_fn)
+    post_table = build_pair_cost_table(failed, post_fs)
+    affected = np.flatnonzero(default == 0)
+    sub = post_table.subset(affected)
+
+    benchmark.pedantic(
+        solve_upstream_unilateral_lp,
+        args=(sub, caps_a, caps_b),
+        rounds=3,
+        iterations=1,
+    )
+
+    res = bandwidth_results
+    cdf = res.cdf_unilateral_downstream()
+    emit("")
+    emit(format_series_table(
+        "Figure 8: downstream MEL, upstream-unilateral / default (CDF)",
+        [cdf],
+    ))
+    emit(format_claims(
+        "Figure 8 headline claims",
+        [
+            (
+                "the result is unpredictable: sometimes helps the "
+                "downstream (left end), sometimes hurts it (right end)",
+                f"helps in {100 * cdf.fraction_below(1.0):.0f}% of cases, "
+                f"hurts in {100 * (1 - cdf.fraction_at_most(1.0)):.0f}%, "
+                f"max ratio {cdf.max():.2f}",
+            ),
+            (
+                "in 10% of the paper's cases the MEL more than doubles",
+                f"ratio >= 2 in {100 * cdf.fraction_at_least(2.0):.1f}% of "
+                f"our cases",
+            ),
+        ],
+    ))
+
+    assert cdf.max() >= 1.0  # at least some case where unilateral is no help

@@ -1,0 +1,111 @@
+"""Shared benchmark fixtures: cached experiment sweeps + report emission.
+
+Each ``bench_figN_*.py`` file regenerates one figure of the paper. The full
+experiment sweeps are computed once per session (they are the *data*, not
+the timed kernel); the ``benchmark`` fixture times a representative unit of
+work per figure (one pair negotiation, one failure case, one LP solve).
+
+The preset scales with the ``REPRO_BENCH_PRESET`` environment variable:
+``quick`` (CI smoke), ``bench`` (default: full 65-ISP dataset, capped pair
+counts) or ``paper`` (every qualifying pair and failure).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.bandwidth import run_bandwidth_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distance import run_distance_experiment
+from repro.geo.population import PopulationModel
+from repro.topology.dataset import build_default_dataset
+from repro.traffic.gravity import GravityWorkload
+
+RESULTS_FILE = Path(__file__).resolve().parent / "figures_output.txt"
+
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+def _preset() -> ExperimentConfig:
+    name = os.environ.get("REPRO_BENCH_PRESET", "bench")
+    factory = {
+        "quick": ExperimentConfig.quick,
+        "bench": ExperimentConfig.bench,
+        "paper": ExperimentConfig.paper,
+    }.get(name)
+    if factory is None:
+        raise ValueError(f"unknown REPRO_BENCH_PRESET {name!r}")
+    return factory()
+
+
+def emit(text: str) -> None:
+    """Print a figure report through pytest's capture and into a file.
+
+    pytest's default fd-level capture swallows even ``sys.__stdout__``
+    writes, so emission temporarily disables the capture manager — the
+    series then appear in plain ``pytest benchmarks/ --benchmark-only``
+    output (and in ``benchmarks/figures_output.txt`` regardless).
+    """
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print(text, file=sys.__stdout__, flush=True)
+    else:
+        print(text, file=sys.__stdout__, flush=True)
+    with RESULTS_FILE.open("a", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def config():
+    return _preset()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if RESULTS_FILE.exists():
+        RESULTS_FILE.unlink()
+    yield
+
+
+@pytest.fixture(scope="session")
+def dataset(config):
+    return build_default_dataset(config.dataset)
+
+
+@pytest.fixture(scope="session")
+def workload(dataset):
+    return GravityWorkload(PopulationModel(dataset.city_db))
+
+
+@pytest.fixture(scope="session")
+def distance_results(config):
+    """The full Section 5.1 sweep (Figures 4, 5, 6, 10)."""
+    return run_distance_experiment(config, include_cheating=True)
+
+
+@pytest.fixture(scope="session")
+def bandwidth_results(config):
+    """The full Section 5.2/5.3/5.4 sweep (Figures 7, 8, 9, 11)."""
+    return run_bandwidth_experiment(
+        config,
+        include_unilateral=True,
+        include_cheating=True,
+        include_diverse=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def sample_pair(dataset):
+    """A representative mid-size pair for timing kernels."""
+    pairs = dataset.pairs(min_interconnections=3, max_pairs=None)
+    pairs.sort(key=lambda p: p.isp_a.n_pops() * p.isp_b.n_pops())
+    return pairs[len(pairs) // 2]

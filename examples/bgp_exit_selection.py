@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Early-exit and late-exit emerging from the BGP decision process.
+
+Section 2 grounds Nexit in BGP's actual mechanisms. This script builds the
+Figure 1 scenario and shows:
+
+* hot-potato (IGP tie-break) selection producing early-exit routing;
+* honoring MEDs producing late-exit routing — "simply the reverse";
+* that neither equals the negotiated Center compromise, which needs
+  coordination BGP cannot express.
+
+Run:  python examples/bgp_exit_selection.py
+"""
+
+from repro import build_figure1_pair, negotiate_distance_pair
+from repro.routing.bgp import BgpSpeaker, RouteAdvertisement
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.flows import Flow, FlowSet
+
+
+def main() -> None:
+    scenario = build_figure1_pair()
+    pair = scenario.pair
+    ics = pair.interconnections
+    src, dst = scenario.flow_a_to_b
+
+    # Costs of each interconnection for the A->B flow.
+    table = build_pair_cost_table(pair, FlowSet(pair, [Flow(0, src, dst)]))
+
+    # beta advertises the destination prefix at all three interconnections,
+    # with MEDs encoding its own distance from each entry to the destination.
+    routes = [
+        RouteAdvertisement(
+            prefix="10.9.0.0/16",
+            neighbor_as="beta",
+            as_path=("beta",),
+            interconnection=ic.index,
+            med=int(table.down_weight[0, ic.index]),
+            igp_distance=float(table.up_weight[0, ic.index]),
+        )
+        for ic in ics
+    ]
+
+    hot_potato = BgpSpeaker(asn="alpha", honor_med=False)
+    hot_potato.receive_all(routes)
+    early = hot_potato.best_route("10.9.0.0/16")
+    print(f"hot-potato BGP picks:   {ics[early.interconnection].city:7s} "
+          f"(alpha carries {table.up_km[0, early.interconnection]:.0f} km, "
+          f"beta carries {table.down_km[0, early.interconnection]:.0f} km)")
+
+    med_honoring = BgpSpeaker(asn="alpha", honor_med=True)
+    med_honoring.receive_all(routes)
+    late = med_honoring.best_route("10.9.0.0/16")
+    print(f"MED-honoring BGP picks: {ics[late.interconnection].city:7s} "
+          f"(alpha carries {table.up_km[0, late.interconnection]:.0f} km, "
+          f"beta carries {table.down_km[0, late.interconnection]:.0f} km)")
+
+    outcome = negotiate_distance_pair(pair)
+    # negotiate_distance_pair covers the full flow set; locate our showcase
+    # flow (src -> dst, direction A->B) within it.
+    flow_index = src * pair.isp_b.n_pops() + dst
+    negotiated_city = ics[int(outcome.choices[flow_index])].city
+    print(f"Nexit negotiates:       {negotiated_city:7s} "
+          f"(both ISPs carry 5 km each — the Figure 1c solution)")
+    print(f"\nsession: {outcome.summary()}")
+
+
+if __name__ == "__main__":
+    main()

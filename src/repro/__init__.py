@@ -1,0 +1,96 @@
+"""Nexit: negotiation-based routing between neighboring ISPs.
+
+A from-scratch reproduction of Mahajan, Wetherall and Anderson,
+"Negotiation-Based Routing Between Neighboring ISPs" (NSDI 2005).
+
+The package layers as the paper does:
+
+* substrates — :mod:`repro.geo`, :mod:`repro.topology`,
+  :mod:`repro.routing`, :mod:`repro.traffic`, :mod:`repro.capacity`,
+  :mod:`repro.metrics`;
+* the contribution — :mod:`repro.core` (the Nexit framework);
+* comparators — :mod:`repro.optimal`, :mod:`repro.baselines`;
+* evaluation — :mod:`repro.experiments` (one runner per figure);
+* deployment — :mod:`repro.deploy` (Section 6).
+
+Quickstart::
+
+    from repro import build_figure1_pair, negotiate_distance_pair
+
+    scenario = build_figure1_pair()
+    outcome = negotiate_distance_pair(scenario.pair)
+    print(outcome.summary())
+"""
+
+from repro.core.agent import NegotiationAgent
+from repro.core.cheating import CheatingAgent
+from repro.core.evaluators import (
+    LoadAwareEvaluator,
+    StaticCostEvaluator,
+    StaticPreferenceEvaluator,
+)
+from repro.core.mapping import (
+    AutoScaleDeltaMapper,
+    LinearDeltaMapper,
+    OrdinalMapper,
+)
+from repro.core.outcomes import NegotiationOutcome, TerminationReason
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.experiments.config import ExperimentConfig
+from repro.topology.builders import build_figure1_pair, build_figure2_pair
+from repro.topology.dataset import build_default_dataset
+from repro.topology.interconnect import IspPair, find_isp_pairs
+from repro.topology.isp import ISPTopology
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "PreferenceRange",
+    "LinearDeltaMapper",
+    "AutoScaleDeltaMapper",
+    "OrdinalMapper",
+    "StaticCostEvaluator",
+    "StaticPreferenceEvaluator",
+    "LoadAwareEvaluator",
+    "NegotiationAgent",
+    "CheatingAgent",
+    "NegotiationSession",
+    "SessionConfig",
+    "NegotiationOutcome",
+    "TerminationReason",
+    "ISPTopology",
+    "IspPair",
+    "find_isp_pairs",
+    "build_default_dataset",
+    "build_figure1_pair",
+    "build_figure2_pair",
+    "ExperimentConfig",
+    "negotiate_distance_pair",
+]
+
+
+def negotiate_distance_pair(pair: IspPair) -> NegotiationOutcome:
+    """One-call convenience: negotiate a pair's flows on the distance metric.
+
+    Builds the full both-direction flow set, maps distances to preference
+    classes with the defaults of the paper's experiments, runs one Nexit
+    session, and returns the outcome. For parameter control use
+    :mod:`repro.experiments.distance` directly.
+    """
+    import numpy as np
+
+    from repro.experiments.distance import build_distance_problem
+
+    problem = build_distance_problem(pair)
+    p_range = PreferenceRange()
+    mapper_a = AutoScaleDeltaMapper(p_range, conservative=False, quantile=100.0)
+    mapper_b = AutoScaleDeltaMapper(p_range, conservative=False, quantile=100.0)
+    ev_a = StaticCostEvaluator(problem.cost_a, problem.defaults, mapper_a)
+    ev_b = StaticCostEvaluator(problem.cost_b, problem.defaults, mapper_b)
+    session = NegotiationSession(
+        NegotiationAgent(pair.isp_a.name, ev_a),
+        NegotiationAgent(pair.isp_b.name, ev_b),
+        defaults=np.asarray(problem.defaults),
+    )
+    return session.run()

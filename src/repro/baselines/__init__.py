@@ -1,0 +1,13 @@
+"""Baseline strategies the paper compares negotiation against."""
+
+from repro.baselines.flow_strategies import (
+    flow_both_better_choices,
+    flow_pareto_choices,
+)
+from repro.baselines.grouped import grouped_negotiation_choices
+
+__all__ = [
+    "flow_pareto_choices",
+    "flow_both_better_choices",
+    "grouped_negotiation_choices",
+]

@@ -1,0 +1,77 @@
+"""Per-flow filtering strategies (the Figure 5 baselines).
+
+"A simpler alternative strategy would be to restrict [negotiation] to pairs
+of flows going in the opposite direction and discard bad routing paths. We
+experimented with two strategies — flow-Pareto and flow-both-better. The
+former rejects paths that are worse than the default for both ISPs, while
+the latter rejects those that are worse for any one ISP ... If multiple
+paths satisfy the required criterion, one is picked at random."
+
+Both operate per flow, without cross-flow compensation — which is exactly
+why they fail: "for mutual gain to be realized, negotiation must be done
+across flows".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import delta_matrix
+from repro.errors import ConfigurationError
+from repro.util.rng import RngSource, make_rng
+
+__all__ = ["flow_pareto_choices", "flow_both_better_choices"]
+
+
+def _filtered_random_choices(
+    cost_a: np.ndarray,
+    cost_b: np.ndarray,
+    defaults: np.ndarray,
+    keep_mask_fn,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    cost_a = np.asarray(cost_a, dtype=float)
+    cost_b = np.asarray(cost_b, dtype=float)
+    if cost_a.shape != cost_b.shape:
+        raise ConfigurationError("cost matrices must have the same shape")
+    delta_a = delta_matrix(cost_a, defaults)  # positive = better for A
+    delta_b = delta_matrix(cost_b, defaults)
+    choices = np.asarray(defaults, dtype=np.intp).copy()
+    for f in range(cost_a.shape[0]):
+        keep = keep_mask_fn(delta_a[f], delta_b[f])
+        keep[defaults[f]] = True  # the default always survives its own test
+        surviving = np.flatnonzero(keep)
+        choices[f] = int(rng.choice(surviving))
+    return choices
+
+
+def flow_pareto_choices(
+    cost_a: np.ndarray,
+    cost_b: np.ndarray,
+    defaults: np.ndarray,
+    seed: RngSource = None,
+) -> np.ndarray:
+    """Reject alternatives worse than the default for *both* ISPs;
+    pick uniformly at random among the survivors."""
+    rng = make_rng(seed)
+
+    def keep(da: np.ndarray, db: np.ndarray) -> np.ndarray:
+        return ~((da < 0) & (db < 0))
+
+    return _filtered_random_choices(cost_a, cost_b, defaults, keep, rng)
+
+
+def flow_both_better_choices(
+    cost_a: np.ndarray,
+    cost_b: np.ndarray,
+    defaults: np.ndarray,
+    seed: RngSource = None,
+) -> np.ndarray:
+    """Reject alternatives worse than the default for *any* ISP;
+    pick uniformly at random among the survivors."""
+    rng = make_rng(seed)
+
+    def keep(da: np.ndarray, db: np.ndarray) -> np.ndarray:
+        return (da >= 0) & (db >= 0)
+
+    return _filtered_random_choices(cost_a, cost_b, defaults, keep, rng)

@@ -1,0 +1,132 @@
+"""Link-load computation for flow placements.
+
+Given a :class:`~repro.routing.costs.PairCostTable` and a placement (one
+interconnection index per flow), these helpers accumulate per-link loads in
+each ISP. :class:`LoadTracker` supports the incremental updates the
+negotiation engine needs during preference reassignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.routing.costs import PairCostTable
+
+__all__ = ["link_loads", "pair_link_loads", "LoadTracker"]
+
+
+def _validate_choices(table: PairCostTable, choices: np.ndarray) -> np.ndarray:
+    choices = np.asarray(choices, dtype=np.intp)
+    if choices.shape != (table.n_flows,):
+        raise CapacityError(
+            f"choices must have shape ({table.n_flows},), got {choices.shape}"
+        )
+    if choices.size and (choices.min() < 0 or choices.max() >= table.n_alternatives):
+        raise CapacityError("choice indices out of range")
+    return choices
+
+
+def link_loads(
+    table: PairCostTable,
+    choices: np.ndarray,
+    side: str,
+    active: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-link loads in one ISP ('a' = upstream, 'b' = downstream).
+
+    ``active`` optionally masks which flows are placed (default: all).
+    """
+    choices = _validate_choices(table, choices)
+    if side == "a":
+        n_links = table.pair.isp_a.n_links()
+        link_table = table.up_links
+    elif side == "b":
+        n_links = table.pair.isp_b.n_links()
+        link_table = table.down_links
+    else:
+        raise CapacityError(f"side must be 'a' or 'b', got {side!r}")
+
+    sizes = table.flowset.sizes()
+    loads = np.zeros(n_links)
+    for flow in table.flowset:
+        if active is not None and not active[flow.index]:
+            continue
+        for li in link_table[flow.index][choices[flow.index]]:
+            loads[li] += sizes[flow.index]
+    return loads
+
+
+def pair_link_loads(
+    table: PairCostTable,
+    choices: np.ndarray,
+    active: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Loads in both ISPs: ``(loads_a, loads_b)``."""
+    return (
+        link_loads(table, choices, "a", active),
+        link_loads(table, choices, "b", active),
+    )
+
+
+class LoadTracker:
+    """Mutable per-link loads for one ISP side, with incremental placement.
+
+    The bandwidth negotiation reassigns preferences "after negotiating each
+    5% of the traffic", which requires evaluating alternatives against the
+    *current* expected network state: background (unaffected) flows plus
+    flows already negotiated. A tracker holds that state.
+    """
+
+    def __init__(self, table: PairCostTable, side: str,
+                 base_loads: np.ndarray | None = None):
+        if side == "a":
+            n_links = table.pair.isp_a.n_links()
+            self._link_table = table.up_links
+        elif side == "b":
+            n_links = table.pair.isp_b.n_links()
+            self._link_table = table.down_links
+        else:
+            raise CapacityError(f"side must be 'a' or 'b', got {side!r}")
+        self._table = table
+        self._sizes = table.flowset.sizes()
+        if base_loads is None:
+            self._loads = np.zeros(n_links)
+        else:
+            base_loads = np.asarray(base_loads, dtype=float)
+            if base_loads.shape != (n_links,):
+                raise CapacityError(
+                    f"base_loads must have shape ({n_links},), got {base_loads.shape}"
+                )
+            self._loads = base_loads.copy()
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current loads (copy; mutate only through place/remove)."""
+        return self._loads.copy()
+
+    def place(self, flow_index: int, alternative: int) -> None:
+        """Add one flow's load along its path for ``alternative``."""
+        for li in self._link_table[flow_index][alternative]:
+            self._loads[li] += self._sizes[flow_index]
+
+    def remove(self, flow_index: int, alternative: int) -> None:
+        """Remove a previously placed flow (inverse of :meth:`place`)."""
+        for li in self._link_table[flow_index][alternative]:
+            self._loads[li] -= self._sizes[flow_index]
+
+    def peek_max_ratio(
+        self, flow_index: int, alternative: int, capacities: np.ndarray
+    ) -> float:
+        """Max (load + flow)/capacity along the flow's path if placed.
+
+        This is the paper's bandwidth preference input: "the maximum
+        increase in link load along the path". Returns 0.0 for an empty
+        path (source at the interconnection).
+        """
+        links = self._link_table[flow_index][alternative]
+        if len(links) == 0:
+            return 0.0
+        size = self._sizes[flow_index]
+        ratios = (self._loads[links] + size) / capacities[links]
+        return float(ratios.max())

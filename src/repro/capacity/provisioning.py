@@ -1,0 +1,98 @@
+"""Capacity provisioning models.
+
+Section 5.2: "to model link capacities, we assume that they are proportional
+to the load on the link before the failure ... To [unused] links we assign a
+capacity that is the median of the links with non-zero load ... Finally, to
+preclude our results being dominated by links that carry little traffic, we
+'upgrade' all links below the median to the median." The paper also tried
+discrete capacities (rounding up to the nearest power of two) and max/mean
+policies for unused links — all available here.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CapacityError
+
+__all__ = ["UnusedLinkPolicy", "ProportionalCapacity"]
+
+
+class UnusedLinkPolicy(enum.Enum):
+    """How to assign capacity to links that carried no pre-failure load."""
+
+    MEDIAN = "median"
+    MAX = "max"
+    MEAN = "mean"
+
+
+@dataclass(frozen=True)
+class ProportionalCapacity:
+    """Capacity proportional to pre-failure load, with backup-link fill-in.
+
+    Attributes:
+        headroom: multiplicative overprovisioning factor applied to loads.
+        unused_policy: capacity statistic assigned to zero-load links
+            ("the unused links are backup links").
+        upgrade_below_median: lift every link's capacity to at least the
+            median, so thin links do not dominate MEL (paper default: True).
+        round_power_of_two: discretize capacities by rounding up to the
+            nearest power of two (the paper's alternate model).
+    """
+
+    headroom: float = 1.0
+    unused_policy: UnusedLinkPolicy = UnusedLinkPolicy.MEDIAN
+    upgrade_below_median: bool = True
+    round_power_of_two: bool = False
+
+    def __post_init__(self) -> None:
+        if self.headroom <= 0:
+            raise CapacityError(f"headroom must be > 0, got {self.headroom}")
+
+    def capacities(self, baseline_loads: np.ndarray) -> np.ndarray:
+        """Compute per-link capacities from pre-failure loads."""
+        loads = np.asarray(baseline_loads, dtype=float)
+        if loads.ndim != 1:
+            raise CapacityError("baseline_loads must be a 1-D array")
+        if loads.size == 0:
+            return loads.copy()
+        if np.any(loads < 0):
+            raise CapacityError("baseline loads must be non-negative")
+
+        caps = loads * self.headroom
+        used = caps[caps > 0]
+        if used.size == 0:
+            # A network with no load at all: give every link unit capacity
+            # so that ratios remain well-defined.
+            caps = np.ones_like(caps)
+            used = caps
+        fill = self._fill_value(used)
+        caps = np.where(caps > 0, caps, fill)
+        if self.upgrade_below_median:
+            median = float(np.median(caps[caps > 0]))
+            caps = np.maximum(caps, median)
+        if self.round_power_of_two:
+            caps = np.asarray([_ceil_power_of_two(c) for c in caps])
+        if np.any(caps <= 0):
+            raise CapacityError("computed a non-positive capacity")
+        return caps
+
+    def _fill_value(self, used: np.ndarray) -> float:
+        if self.unused_policy is UnusedLinkPolicy.MEDIAN:
+            return float(np.median(used))
+        if self.unused_policy is UnusedLinkPolicy.MAX:
+            return float(used.max())
+        if self.unused_policy is UnusedLinkPolicy.MEAN:
+            return float(used.mean())
+        raise CapacityError(f"unknown unused-link policy {self.unused_policy!r}")
+
+
+def _ceil_power_of_two(value: float) -> float:
+    """Smallest power of two >= value (for value > 0)."""
+    if value <= 0:
+        raise CapacityError(f"cannot round non-positive capacity {value}")
+    return float(2.0 ** math.ceil(math.log2(value)))

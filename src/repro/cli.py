@@ -1,0 +1,193 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro distance --preset quick
+    python -m repro bandwidth --preset bench --unilateral --diverse
+    python -m repro dataset --preset bench --out dataset.json
+    python -m repro figure1
+
+The CLI prints the same CDF series the benchmark harness emits, so a user
+can reproduce any figure without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.analysis import gain_by_interconnection_count
+from repro.experiments.bandwidth import run_bandwidth_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distance import run_distance_experiment
+from repro.experiments.report import format_claims, format_series_table
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "quick": ExperimentConfig.quick,
+    "bench": ExperimentConfig.bench,
+    "paper": ExperimentConfig.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nexit (NSDI 2005) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_preset(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--preset", choices=sorted(_PRESETS), default="quick",
+                       help="experiment scale (default: quick)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the workload seed")
+
+    p_dist = sub.add_parser("distance",
+                            help="Section 5.1: the distance experiment")
+    add_preset(p_dist)
+    p_dist.add_argument("--cheating", action="store_true",
+                        help="include the Figure 10 cheating variant")
+
+    p_bw = sub.add_parser("bandwidth",
+                          help="Section 5.2: the bandwidth experiment")
+    add_preset(p_bw)
+    p_bw.add_argument("--unilateral", action="store_true",
+                      help="include the Figure 8 unilateral comparison")
+    p_bw.add_argument("--diverse", action="store_true",
+                      help="include the Figure 9 diverse-objective variant")
+    p_bw.add_argument("--cheating", action="store_true",
+                      help="include the Figure 11 cheating variant")
+
+    p_ds = sub.add_parser("dataset", help="build and export the ISP dataset")
+    add_preset(p_ds)
+    p_ds.add_argument("--out", default=None,
+                      help="write the dataset as JSON to this path")
+
+    sub.add_parser("figure1", help="run the Figure 1 walkthrough")
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    config = _PRESETS[args.preset]()
+    if args.seed is not None:
+        config = config.with_seed(args.seed)
+    return config
+
+
+def _run_distance(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    result = run_distance_experiment(config, include_cheating=args.cheating)
+    print(format_series_table(
+        "Figure 4a: total % distance gain (CDF over pairs)",
+        [result.cdf_total_gain("optimal"), result.cdf_total_gain("negotiated")],
+    ), file=out)
+    print(format_series_table(
+        "Figure 4b: individual per-ISP % gain (CDF)",
+        [result.cdf_individual_gain("optimal"),
+         result.cdf_individual_gain("negotiated")],
+    ), file=out)
+    claims = [
+        ("median total gain (optimal / negotiated)",
+         f"{result.median_total_gain('optimal'):.2f}% / "
+         f"{result.median_total_gain('negotiated'):.2f}%"),
+        ("fraction of ISPs losing (optimal / negotiated)",
+         f"{result.fraction_isps_losing('optimal'):.2f} / "
+         f"{result.fraction_isps_losing('negotiated'):.2f}"),
+    ]
+    if args.cheating:
+        claims.append(
+            ("median total gain with one cheater",
+             f"{result.cdf_total_gain('cheating').median():.2f}%")
+        )
+    print(format_claims("summary", claims), file=out)
+    grouped = gain_by_interconnection_count(result)
+    print("-- negotiated gain by interconnection count --", file=out)
+    for count, (n_pairs, median) in grouped.items():
+        print(f"  {count} interconnections: {n_pairs:3d} pairs, "
+              f"median gain {median:5.2f}%", file=out)
+    return 0
+
+
+def _run_bandwidth(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    result = run_bandwidth_experiment(
+        config,
+        include_unilateral=args.unilateral,
+        include_cheating=args.cheating,
+        include_diverse=args.diverse,
+    )
+    print(format_series_table(
+        "Figure 7 (left): upstream MEL ratio to optimal (CDF)",
+        [result.cdf_ratio("default", "a"), result.cdf_ratio("negotiated", "a")],
+    ), file=out)
+    print(format_series_table(
+        "Figure 7 (right): downstream MEL ratio to optimal (CDF)",
+        [result.cdf_ratio("default", "b"), result.cdf_ratio("negotiated", "b")],
+    ), file=out)
+    if args.unilateral:
+        print(format_series_table(
+            "Figure 8: downstream MEL, unilateral / default",
+            [result.cdf_unilateral_downstream()],
+        ), file=out)
+    if args.diverse:
+        print(format_series_table(
+            "Figure 9 (right): downstream distance gain %",
+            [result.cdf_diverse_downstream_gain()],
+        ), file=out)
+    if args.cheating:
+        print(format_series_table(
+            "Figure 11: MEL ratios with a cheating upstream",
+            [result.cdf_ratio("cheating", "a"), result.cdf_ratio("cheating", "b")],
+        ), file=out)
+    return 0
+
+
+def _run_dataset(args: argparse.Namespace, out) -> int:
+    from repro.topology.dataset import build_default_dataset
+    from repro.topology.serialization import save_dataset_json
+
+    config = _config(args)
+    dataset = build_default_dataset(config.dataset)
+    print(dataset.summary(), file=out)
+    pairs2 = dataset.pairs(min_interconnections=2)
+    pairs3 = dataset.pairs(min_interconnections=3)
+    print(f"pairs with >= 2 interconnections: {len(pairs2)}", file=out)
+    print(f"pairs with >= 3 interconnections: {len(pairs3)}", file=out)
+    if args.out:
+        save_dataset_json(dataset.isps, args.out)
+        print(f"wrote {len(dataset.isps)} ISPs to {args.out}", file=out)
+    return 0
+
+
+def _run_figure1(out) -> int:
+    from repro import build_figure1_pair, negotiate_distance_pair
+
+    scenario = build_figure1_pair()
+    outcome = negotiate_distance_pair(scenario.pair)
+    ics = scenario.pair.interconnections
+    src, dst = scenario.flow_a_to_b
+    flow_index = src * scenario.pair.isp_b.n_pops() + dst
+    chosen = ics[int(outcome.choices[flow_index])].city
+    print(f"negotiated interconnection for the Figure 1 flow: {chosen}",
+          file=out)
+    print(outcome.summary(), file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "distance":
+        return _run_distance(args, out)
+    if args.command == "bandwidth":
+        return _run_bandwidth(args, out)
+    if args.command == "dataset":
+        return _run_dataset(args, out)
+    if args.command == "figure1":
+        return _run_figure1(out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,94 @@
+"""Nexit: the negotiation framework (the paper's core contribution)."""
+
+from repro.core.agent import NegotiationAgent
+from repro.core.cheating import CheatingAgent, inflate_best_alternative
+from repro.core.credits import CreditLedger, CreditSessionRunner
+from repro.core.evaluators import (
+    Evaluator,
+    LoadAwareEvaluator,
+    StaticCostEvaluator,
+    StaticPreferenceEvaluator,
+)
+from repro.core.mapping import (
+    AutoScaleDeltaMapper,
+    LinearDeltaMapper,
+    OrdinalMapper,
+    PreferenceMapper,
+    map_cost_matrix,
+)
+from repro.core.messages import (
+    AcceptMessage,
+    Message,
+    PreferenceAdvertisement,
+    ProposalMessage,
+    ReassignMessage,
+    RejectMessage,
+    StopMessage,
+    message_from_dict,
+    message_to_dict,
+)
+from repro.core.outcomes import NegotiationOutcome, RoundRecord, TerminationReason
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import (
+    AcceptancePolicy,
+    AlternatingTurns,
+    AlwaysAccept,
+    BestLocalProposals,
+    CoinTossTurns,
+    LowerGainTurns,
+    MaxCombinedProposals,
+    ProposalPolicy,
+    ReassignEveryFraction,
+    ReassignNever,
+    ReassignmentPolicy,
+    TerminationMode,
+    TurnPolicy,
+    VetoIfWorseThanDefault,
+)
+
+__all__ = [
+    "PreferenceRange",
+    "PreferenceMapper",
+    "LinearDeltaMapper",
+    "AutoScaleDeltaMapper",
+    "OrdinalMapper",
+    "map_cost_matrix",
+    "Evaluator",
+    "StaticCostEvaluator",
+    "StaticPreferenceEvaluator",
+    "LoadAwareEvaluator",
+    "NegotiationAgent",
+    "CheatingAgent",
+    "inflate_best_alternative",
+    "CreditLedger",
+    "CreditSessionRunner",
+    "NegotiationSession",
+    "SessionConfig",
+    "NegotiationOutcome",
+    "RoundRecord",
+    "TerminationReason",
+    "TurnPolicy",
+    "AlternatingTurns",
+    "LowerGainTurns",
+    "CoinTossTurns",
+    "ProposalPolicy",
+    "MaxCombinedProposals",
+    "BestLocalProposals",
+    "AcceptancePolicy",
+    "AlwaysAccept",
+    "VetoIfWorseThanDefault",
+    "ReassignmentPolicy",
+    "ReassignNever",
+    "ReassignEveryFraction",
+    "TerminationMode",
+    "Message",
+    "PreferenceAdvertisement",
+    "ProposalMessage",
+    "AcceptMessage",
+    "RejectMessage",
+    "ReassignMessage",
+    "StopMessage",
+    "message_to_dict",
+    "message_from_dict",
+]

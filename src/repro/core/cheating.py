@@ -1,0 +1,117 @@
+"""Cheating strategies (Section 5.4).
+
+The paper's cheater "has perfect knowledge of the other ISP's preferences"
+and "uses [that] knowledge ... to inflate the preference of its best
+alternative for each flow just enough so that it corresponds to maximum
+sum". When the cap P prevents sufficient inflation, "the cheater decreases
+the preferences for the other alternatives accordingly". The cheater's
+*decisions* (stopping, accepting) still follow its true preferences — it
+lies to the peer, not to itself — and its realized gain is measured on the
+true metric, which is how the paper shows cheating backfires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import Evaluator
+from repro.core.preferences import PreferenceRange
+from repro.core.strategies import AcceptancePolicy, TerminationMode
+from repro.errors import NegotiationError
+
+__all__ = ["inflate_best_alternative", "CheatingAgent"]
+
+
+def inflate_best_alternative(
+    true_prefs: np.ndarray,
+    opponent_prefs: np.ndarray,
+    range_: PreferenceRange,
+) -> np.ndarray:
+    """The paper's cheating transformation, row by row.
+
+    For each flow: let ``b`` be the cheater's truly best alternative. The
+    disclosed preference of ``b`` is raised just enough that ``b`` attains
+    the maximum combined sum. If the cap P truncates the raise, the other
+    alternatives' disclosed preferences are lowered until ``b`` is (weakly)
+    the combined maximum. Relative order of the cheater's remaining
+    preferences is preserved as far as possible, "which is useful for
+    ensuring that better alternatives are picked first".
+    """
+    true_prefs = np.asarray(true_prefs, dtype=np.int64)
+    opponent_prefs = np.asarray(opponent_prefs, dtype=np.int64)
+    if true_prefs.shape != opponent_prefs.shape:
+        raise NegotiationError("preference matrices must have the same shape")
+    disclosed = true_prefs.copy()
+    n_flows, n_alts = true_prefs.shape
+    for f in range(n_flows):
+        row = true_prefs[f]
+        opp = opponent_prefs[f]
+        best = int(np.argmax(row))  # ties -> lowest index, deterministic
+        target = int((row + opp).max())
+        # Raise the best alternative so its combined sum reaches the target.
+        needed = target - int(opp[best])
+        disclosed[f, best] = int(
+            np.clip(max(int(row[best]), needed), range_.min, range_.max)
+        )
+        achieved = disclosed[f, best] + int(opp[best])
+        # If the cap bit, push the other alternatives down instead.
+        for i in range(n_alts):
+            if i == best:
+                continue
+            ceiling = achieved - int(opp[i])
+            disclosed[f, i] = int(
+                np.clip(min(int(row[i]), ceiling), range_.min, range_.max)
+            )
+    return disclosed
+
+
+class CheatingAgent(NegotiationAgent):
+    """An agent that discloses strategically inflated preferences.
+
+    The opponent reference models the paper's (deliberately generous)
+    assumption of perfect knowledge of the other ISP's preference list.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        evaluator: Evaluator,
+        opponent: NegotiationAgent | None = None,
+        range_: PreferenceRange | None = None,
+        termination: TerminationMode = TerminationMode.EARLY,
+        acceptance: AcceptancePolicy | None = None,
+    ):
+        super().__init__(
+            name, evaluator, termination=termination, acceptance=acceptance
+        )
+        self.opponent = opponent
+        self.range = range_ or PreferenceRange()
+        self._disclosed_cache: np.ndarray | None = None
+
+    def bind_opponent(self, opponent: NegotiationAgent) -> None:
+        """Late-bind the spied-on opponent (avoids construction cycles)."""
+        if isinstance(opponent, CheatingAgent):
+            raise NegotiationError(
+                "two cheaters spying on each other would recurse; "
+                "the paper's scenario has exactly one cheater"
+            )
+        self.opponent = opponent
+
+    def disclosed_preferences(self) -> np.ndarray:
+        if self.opponent is None:
+            raise NegotiationError("cheating agent has no opponent bound")
+        # The inflation is a function of both sides' current preference
+        # lists, which only change on reassignment — cache between rounds.
+        if self._disclosed_cache is None:
+            self._disclosed_cache = inflate_best_alternative(
+                self.evaluator.preferences(),
+                # A truthful opponent disclosed its evaluator output verbatim.
+                self.opponent.evaluator.preferences(),
+                self.range,
+            )
+        return self._disclosed_cache
+
+    def reassign(self, remaining: np.ndarray) -> None:
+        super().reassign(remaining)
+        self._disclosed_cache = None

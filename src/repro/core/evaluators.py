@@ -1,0 +1,396 @@
+"""ISP-internal evaluation of routing choices (Nexit step 1).
+
+An :class:`Evaluator` is one ISP's private machinery: it knows the ISP's
+internal optimization criterion and produces the opaque preference classes
+the protocol discloses. The session never sees the underlying metric.
+
+Three concrete evaluators:
+
+* :class:`StaticPreferenceEvaluator` — preferences given directly (worked
+  examples, tests, and the Figure 3 trace);
+* :class:`StaticCostEvaluator` — per-flow costs independent of other flows
+  (the distance metric: "mapping per-flow objectives ... is straightforward
+  as the preferences for different alternatives are independent");
+* :class:`LoadAwareEvaluator` — preferences derived from current link
+  loads (the bandwidth metric), recomputed on reassignment as "preferences
+  are based on constraints such as available bandwidth that may change
+  after some flows have been negotiated".
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.capacity.loads import LoadTracker
+from repro.core.mapping import (
+    PreferenceMapper,
+    conservative_round,
+    map_cost_matrix,
+)
+from repro.core.preferences import PreferenceRange
+from repro.errors import PreferenceError
+from repro.routing.costs import PairCostTable
+
+__all__ = [
+    "Evaluator",
+    "StaticPreferenceEvaluator",
+    "StaticCostEvaluator",
+    "LoadAwareEvaluator",
+    "FortzCostEvaluator",
+]
+
+
+class Evaluator(Protocol):
+    """One ISP's private preference machinery."""
+
+    @property
+    def n_flows(self) -> int: ...
+
+    @property
+    def n_alternatives(self) -> int: ...
+
+    @property
+    def defaults(self) -> np.ndarray:
+        """Default alternative per flow (maps to class 0)."""
+        ...
+
+    def preferences(self) -> np.ndarray:
+        """Current disclosed preference classes, (F, I) int array.
+
+        Rows of already-negotiated flows are retained but ignored by the
+        session.
+        """
+        ...
+
+    def commit(self, flow_index: int, alternative: int) -> None:
+        """Record that a flow was negotiated to ``alternative``."""
+        ...
+
+    def reassign(self, remaining: np.ndarray) -> None:
+        """Recompute preferences for the flows still on the table."""
+        ...
+
+    def true_delta(self, flow_index: int, alternative: int) -> float:
+        """This ISP's *actual* metric improvement if the flow moves to
+        ``alternative`` (positive = better than default). Used only for
+        the ISP's private accounting (win-win rollback); never disclosed.
+        """
+        ...
+
+
+class StaticPreferenceEvaluator:
+    """Preferences supplied directly as class matrices.
+
+    ``stages`` optionally provides successive matrices consumed one per
+    reassignment — exactly what the Figure 3 worked example needs (initial
+    list, then the post-reassignment list).
+    """
+
+    def __init__(
+        self,
+        prefs: np.ndarray,
+        defaults: np.ndarray,
+        range_: PreferenceRange | None = None,
+        stages: list[np.ndarray] | None = None,
+    ):
+        self.range = range_ or PreferenceRange()
+        self._prefs = np.asarray(prefs, dtype=np.int64)
+        self._defaults = np.asarray(defaults, dtype=np.intp)
+        if self._prefs.ndim != 2:
+            raise PreferenceError("preference matrix must be 2-D")
+        if self._defaults.shape != (self._prefs.shape[0],):
+            raise PreferenceError("defaults shape mismatch")
+        self.range.validate_array(self._prefs)
+        self._stages = [np.asarray(s, dtype=np.int64) for s in (stages or [])]
+        for stage in self._stages:
+            if stage.shape != self._prefs.shape:
+                raise PreferenceError("stage matrices must match initial shape")
+            self.range.validate_array(stage)
+
+    @property
+    def n_flows(self) -> int:
+        return self._prefs.shape[0]
+
+    @property
+    def n_alternatives(self) -> int:
+        return self._prefs.shape[1]
+
+    @property
+    def defaults(self) -> np.ndarray:
+        return self._defaults
+
+    def preferences(self) -> np.ndarray:
+        return self._prefs
+
+    def commit(self, flow_index: int, alternative: int) -> None:
+        # Stateless with respect to commitments.
+        del flow_index, alternative
+
+    def reassign(self, remaining: np.ndarray) -> None:
+        del remaining
+        if self._stages:
+            self._prefs = self._stages.pop(0)
+
+    def true_delta(self, flow_index: int, alternative: int) -> float:
+        # No underlying metric: the classes are the ground truth.
+        return float(self._prefs[flow_index, alternative])
+
+
+class StaticCostEvaluator:
+    """Per-flow costs mapped to classes once (load-independent metrics)."""
+
+    def __init__(
+        self,
+        costs: np.ndarray,
+        defaults: np.ndarray,
+        mapper: PreferenceMapper,
+    ):
+        self._costs = np.asarray(costs, dtype=float)
+        self._defaults = np.asarray(defaults, dtype=np.intp)
+        self.mapper = mapper
+        self.range = mapper.range
+        self._prefs = map_cost_matrix(self._costs, self._defaults, mapper)
+
+    @property
+    def n_flows(self) -> int:
+        return self._prefs.shape[0]
+
+    @property
+    def n_alternatives(self) -> int:
+        return self._prefs.shape[1]
+
+    @property
+    def defaults(self) -> np.ndarray:
+        return self._defaults
+
+    @property
+    def costs(self) -> np.ndarray:
+        """The underlying private cost matrix (never disclosed)."""
+        return self._costs
+
+    def preferences(self) -> np.ndarray:
+        return self._prefs
+
+    def commit(self, flow_index: int, alternative: int) -> None:
+        del flow_index, alternative
+
+    def reassign(self, remaining: np.ndarray) -> None:
+        # Load-independent: preferences never change.
+        del remaining
+
+    def true_delta(self, flow_index: int, alternative: int) -> float:
+        default = self._defaults[flow_index]
+        return float(
+            self._costs[flow_index, default] - self._costs[flow_index, alternative]
+        )
+
+
+class LoadAwareEvaluator:
+    """Bandwidth preferences: max load-increase ratio along the path.
+
+    For a remaining flow ``f`` and alternative ``i``, the internal score is
+    the maximum of ``(load + size_f) / capacity`` over the links of the
+    (f, i) path inside this ISP's network — "both ISPs using the maximum
+    increase in link load along the path to map flows to preferences"
+    (Section 5.2). The class is the default-relative improvement in that
+    ratio, at ``ratio_unit`` per class.
+
+    The evaluator holds a :class:`LoadTracker` seeded with background
+    (non-negotiated) traffic. Committed flows are placed into the tracker,
+    but disclosed preferences only change when :meth:`reassign` runs —
+    Nexit reassigns "after negotiating each 5% of the traffic".
+    """
+
+    def __init__(
+        self,
+        table: PairCostTable,
+        side: str,
+        capacities: np.ndarray,
+        defaults: np.ndarray,
+        base_loads: np.ndarray | None = None,
+        range_: PreferenceRange | None = None,
+        ratio_unit: float = 0.1,
+        conservative: bool = True,
+    ):
+        if ratio_unit <= 0:
+            raise PreferenceError(f"ratio_unit must be > 0, got {ratio_unit}")
+        self.range = range_ or PreferenceRange()
+        self.ratio_unit = float(ratio_unit)
+        self.conservative = conservative
+        self._table = table
+        self._side = side
+        self._capacities = np.asarray(capacities, dtype=float)
+        self._defaults = np.asarray(defaults, dtype=np.intp)
+        if self._defaults.shape != (table.n_flows,):
+            raise PreferenceError("defaults shape mismatch")
+        self._tracker = LoadTracker(table, side, base_loads=base_loads)
+        self._prefs = np.zeros((table.n_flows, table.n_alternatives), dtype=np.int64)
+        self._recompute(np.ones(table.n_flows, dtype=bool))
+
+    @property
+    def n_flows(self) -> int:
+        return self._table.n_flows
+
+    @property
+    def n_alternatives(self) -> int:
+        return self._table.n_alternatives
+
+    @property
+    def defaults(self) -> np.ndarray:
+        return self._defaults
+
+    @property
+    def tracker(self) -> LoadTracker:
+        return self._tracker
+
+    def preferences(self) -> np.ndarray:
+        return self._prefs
+
+    def commit(self, flow_index: int, alternative: int) -> None:
+        self._tracker.place(flow_index, alternative)
+
+    def reassign(self, remaining: np.ndarray) -> None:
+        self._recompute(np.asarray(remaining, dtype=bool))
+
+    def true_delta(self, flow_index: int, alternative: int) -> float:
+        """Improvement in this ISP's max load-increase ratio for the flow,
+        evaluated against the *current* network state (call before
+        :meth:`commit` places the flow)."""
+        default_score = self._tracker.peek_max_ratio(
+            flow_index, int(self._defaults[flow_index]), self._capacities
+        )
+        alt_score = self._tracker.peek_max_ratio(
+            flow_index, alternative, self._capacities
+        )
+        return default_score - alt_score
+
+    def _recompute(self, remaining: np.ndarray) -> None:
+        """Refresh classes for the remaining flows from current loads."""
+        for f in np.flatnonzero(remaining):
+            scores = np.asarray(
+                [
+                    self._tracker.peek_max_ratio(int(f), i, self._capacities)
+                    for i in range(self.n_alternatives)
+                ]
+            )
+            default_score = scores[self._defaults[f]]
+            units = (default_score - scores) / self.ratio_unit
+            if self.conservative:
+                units = conservative_round(units)
+            self._prefs[f] = self.range.clamp_array(units)
+            # The default is 0 by construction; enforce against fp noise.
+            self._prefs[f, self._defaults[f]] = 0
+
+
+class FortzCostEvaluator:
+    """Bandwidth preferences from the Fortz-Thorup network cost.
+
+    The paper's alternate ISP optimization metric: "a metric based on a
+    linear programming formulation of optimal routing [10]. This metric
+    minimizes the sum of link costs, where the cost is a piecewise linear
+    function of load with increasing slope." The internal score of a
+    (flow, alternative) is the *increase* in this ISP's total network cost
+    if the flow is placed there, evaluated against the current expected
+    state; preferences are the default-relative improvement at
+    ``cost_unit`` per class.
+    """
+
+    def __init__(
+        self,
+        table: PairCostTable,
+        side: str,
+        capacities: np.ndarray,
+        defaults: np.ndarray,
+        base_loads: np.ndarray | None = None,
+        range_: PreferenceRange | None = None,
+        cost_unit: float | None = None,
+        conservative: bool = True,
+    ):
+        from repro.metrics.fortz import piecewise_link_cost
+
+        self._piecewise = piecewise_link_cost
+        self.range = range_ or PreferenceRange()
+        self._table = table
+        self._side = side
+        self._capacities = np.asarray(capacities, dtype=float)
+        self._defaults = np.asarray(defaults, dtype=np.intp)
+        if self._defaults.shape != (table.n_flows,):
+            raise PreferenceError("defaults shape mismatch")
+        self._link_table = table.up_links if side == "a" else table.down_links
+        self._tracker = LoadTracker(table, side, base_loads=base_loads)
+        self._sizes = table.flowset.sizes()
+        # Default unit: the cost of one mean-size flow crossing one link at
+        # half utilization — a scale that keeps typical deltas at a few
+        # classes without instance peeking.
+        if cost_unit is None:
+            mean_cap = float(self._capacities.mean()) if self._capacities.size else 1.0
+            cost_unit = max(float(self._sizes.mean()), 1e-9) * 0.5
+            del mean_cap
+        if cost_unit <= 0:
+            raise PreferenceError(f"cost_unit must be > 0, got {cost_unit}")
+        self.cost_unit = float(cost_unit)
+        self.conservative = conservative
+        self._prefs = np.zeros((table.n_flows, table.n_alternatives),
+                               dtype=np.int64)
+        self._recompute(np.ones(table.n_flows, dtype=bool))
+
+    @property
+    def n_flows(self) -> int:
+        return self._table.n_flows
+
+    @property
+    def n_alternatives(self) -> int:
+        return self._table.n_alternatives
+
+    @property
+    def defaults(self) -> np.ndarray:
+        return self._defaults
+
+    def preferences(self) -> np.ndarray:
+        return self._prefs
+
+    def commit(self, flow_index: int, alternative: int) -> None:
+        self._tracker.place(flow_index, alternative)
+
+    def reassign(self, remaining: np.ndarray) -> None:
+        self._recompute(np.asarray(remaining, dtype=bool))
+
+    def true_delta(self, flow_index: int, alternative: int) -> float:
+        default_cost = self._placement_cost_increase(
+            flow_index, int(self._defaults[flow_index])
+        )
+        alt_cost = self._placement_cost_increase(flow_index, alternative)
+        return default_cost - alt_cost
+
+    def _placement_cost_increase(self, flow_index: int, alternative: int) -> float:
+        """Marginal Fortz cost of placing the flow on its path links."""
+        links = self._link_table[flow_index][alternative]
+        if len(links) == 0:
+            return 0.0
+        size = self._sizes[flow_index]
+        loads = self._tracker.loads
+        increase = 0.0
+        for li in links:
+            li = int(li)
+            cap = self._capacities[li]
+            increase += self._piecewise(loads[li] + size, cap)
+            increase -= self._piecewise(loads[li], cap)
+        return increase
+
+    def _recompute(self, remaining: np.ndarray) -> None:
+        for f in np.flatnonzero(remaining):
+            f = int(f)
+            scores = np.asarray(
+                [
+                    self._placement_cost_increase(f, i)
+                    for i in range(self.n_alternatives)
+                ]
+            )
+            default_score = scores[self._defaults[f]]
+            units = (default_score - scores) / self.cost_unit
+            if self.conservative:
+                units = conservative_round(units)
+            self._prefs[f] = self.range.clamp_array(units)
+            self._prefs[f, self._defaults[f]] = 0

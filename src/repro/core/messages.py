@@ -1,0 +1,180 @@
+"""Wire messages of the negotiation protocol.
+
+The protocol needs only five message kinds: an initial preference
+advertisement, per-round proposals with accept/reject responses, preference
+reassignments, and a stop notice. The session can record a full message
+transcript (:class:`~repro.core.session.NegotiationSession` with
+``record_messages=True``), and the deployment layer serializes these to JSON
+for the out-of-band negotiation channel of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.errors import ProtocolError, SerializationError
+
+__all__ = [
+    "Message",
+    "PreferenceAdvertisement",
+    "ProposalMessage",
+    "AcceptMessage",
+    "RejectMessage",
+    "ReassignMessage",
+    "StopMessage",
+    "message_to_dict",
+    "message_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: every message names its sender ('a' or 'b')."""
+
+    sender: str
+
+    kind: ClassVar[str] = "message"
+
+    def __post_init__(self) -> None:
+        if self.sender not in ("a", "b"):
+            raise ProtocolError(f"sender must be 'a' or 'b', got {self.sender!r}")
+
+
+@dataclass(frozen=True)
+class PreferenceAdvertisement(Message):
+    """The full preference list disclosed at session start (or reassign).
+
+    ``preferences[f][i]`` is the integer class of alternative ``i`` for
+    flow ``f``; ``defaults[f]`` the sender's default alternative.
+    """
+
+    preferences: tuple[tuple[int, ...], ...] = field(default=())
+    defaults: tuple[int, ...] = field(default=())
+
+    kind: ClassVar[str] = "preference_advertisement"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.preferences) != len(self.defaults):
+            raise ProtocolError("preferences and defaults must align per flow")
+
+
+@dataclass(frozen=True)
+class ProposalMessage(Message):
+    """"Propose an alternative": flow + interconnection."""
+
+    round_index: int = 0
+    flow_index: int = 0
+    alternative: int = 0
+
+    kind: ClassVar[str] = "proposal"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.round_index < 0 or self.flow_index < 0 or self.alternative < 0:
+            raise ProtocolError("proposal fields must be non-negative")
+
+
+@dataclass(frozen=True)
+class AcceptMessage(Message):
+    """"Accept alternative?" — affirmative response."""
+
+    round_index: int = 0
+    flow_index: int = 0
+    alternative: int = 0
+
+    kind: ClassVar[str] = "accept"
+
+
+@dataclass(frozen=True)
+class RejectMessage(Message):
+    """Veto of a proposal."""
+
+    round_index: int = 0
+    flow_index: int = 0
+    alternative: int = 0
+
+    kind: ClassVar[str] = "reject"
+
+
+@dataclass(frozen=True)
+class ReassignMessage(Message):
+    """"Reassign preferences?" — updated classes for remaining flows."""
+
+    preferences: tuple[tuple[int, ...], ...] = field(default=())
+
+    kind: ClassVar[str] = "reassign"
+
+
+@dataclass(frozen=True)
+class StopMessage(Message):
+    """"Stop?" — the sender will not negotiate further."""
+
+    reason: str = ""
+
+    kind: ClassVar[str] = "stop"
+
+
+_MESSAGE_TYPES: dict[str, type[Message]] = {
+    cls.kind: cls
+    for cls in (
+        PreferenceAdvertisement,
+        ProposalMessage,
+        AcceptMessage,
+        RejectMessage,
+        ReassignMessage,
+        StopMessage,
+    )
+}
+
+
+def message_to_dict(message: Message) -> dict[str, Any]:
+    """JSON-ready dict with a ``type`` tag."""
+    payload: dict[str, Any] = {"type": message.kind, "sender": message.sender}
+    if isinstance(message, (PreferenceAdvertisement, ReassignMessage)):
+        payload["preferences"] = [list(row) for row in message.preferences]
+    if isinstance(message, PreferenceAdvertisement):
+        payload["defaults"] = list(message.defaults)
+    if isinstance(message, (ProposalMessage, AcceptMessage, RejectMessage)):
+        payload["round_index"] = message.round_index
+        payload["flow_index"] = message.flow_index
+        payload["alternative"] = message.alternative
+    if isinstance(message, StopMessage):
+        payload["reason"] = message.reason
+    return payload
+
+
+def message_from_dict(payload: dict[str, Any]) -> Message:
+    """Inverse of :func:`message_to_dict`."""
+    try:
+        kind = payload["type"]
+        cls = _MESSAGE_TYPES[kind]
+    except KeyError as exc:
+        raise SerializationError(f"unknown or missing message type: {exc}") from exc
+    try:
+        if cls is PreferenceAdvertisement:
+            return PreferenceAdvertisement(
+                sender=payload["sender"],
+                preferences=tuple(
+                    tuple(int(x) for x in row) for row in payload["preferences"]
+                ),
+                defaults=tuple(int(x) for x in payload["defaults"]),
+            )
+        if cls is ReassignMessage:
+            return ReassignMessage(
+                sender=payload["sender"],
+                preferences=tuple(
+                    tuple(int(x) for x in row) for row in payload["preferences"]
+                ),
+            )
+        if cls in (ProposalMessage, AcceptMessage, RejectMessage):
+            return cls(
+                sender=payload["sender"],
+                round_index=int(payload["round_index"]),
+                flow_index=int(payload["flow_index"]),
+                alternative=int(payload["alternative"]),
+            )
+        return StopMessage(sender=payload["sender"], reason=payload.get("reason", ""))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed {kind} message: {exc}") from exc

@@ -1,0 +1,71 @@
+"""Opaque preference classes.
+
+Nexit works with "opaque preference classes in the integral range [-P, P]"
+(Section 4). The default alternative of every flow maps to class 0;
+non-default alternatives get integers reflecting their relative goodness.
+Preferences must compose over addition — the protocol trades a -1 here for
+a +3 there — which is why they are plain integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PreferenceError
+
+__all__ = ["PreferenceRange", "DEFAULT_RANGE"]
+
+
+@dataclass(frozen=True)
+class PreferenceRange:
+    """The range parameter P of the opaque preference classes.
+
+    "P is chosen to be large enough to differentiate alternatives with
+    substantially different quality but small enough to avoid unnecessary
+    information leakage." The paper's experiments use P = 10.
+    """
+
+    p: int = 10
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.p, (int, np.integer)) or isinstance(self.p, bool):
+            raise PreferenceError(f"P must be an integer, got {self.p!r}")
+        if self.p < 1:
+            raise PreferenceError(f"P must be >= 1, got {self.p}")
+
+    @property
+    def min(self) -> int:
+        return -self.p
+
+    @property
+    def max(self) -> int:
+        return self.p
+
+    def clamp(self, value: float) -> int:
+        """Round ``value`` to the nearest class and clamp into [-P, P]."""
+        return int(np.clip(round(float(value)), self.min, self.max))
+
+    def clamp_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`clamp` producing an int array."""
+        rounded = np.rint(np.asarray(values, dtype=float))
+        return np.clip(rounded, self.min, self.max).astype(np.int64)
+
+    def validate_array(self, prefs: np.ndarray) -> np.ndarray:
+        """Check an int preference array is inside [-P, P]; return it."""
+        prefs = np.asarray(prefs)
+        if not np.issubdtype(prefs.dtype, np.integer):
+            raise PreferenceError(
+                f"preference classes must be integers, got dtype {prefs.dtype}"
+            )
+        if prefs.size and (prefs.min() < self.min or prefs.max() > self.max):
+            raise PreferenceError(
+                f"preferences outside [-{self.p}, {self.p}]: "
+                f"range [{prefs.min()}, {prefs.max()}]"
+            )
+        return prefs
+
+
+#: The paper's experimental setting.
+DEFAULT_RANGE = PreferenceRange(10)

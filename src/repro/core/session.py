@@ -1,0 +1,368 @@
+"""The Nexit negotiation session engine.
+
+Runs the round-based protocol of Section 4 between two
+:class:`~repro.core.agent.NegotiationAgent` instances:
+
+    decide turn -> propose an alternative -> accept? -> reassign? -> stop?
+
+The engine is deterministic given the agents and policies. A win-win
+*rollback* guard (on by default) implements the paper's guarantee that "an
+ISP can ensure that it is no worse off than the default case": if the
+session ends with either side's cumulative disclosed gain negative, the most
+recent concessions are rolled back ("the ISP can partially or fully rollback
+the compromises made", Section 6) until both sides are at or above the
+default. With truthful agents and early termination this rarely triggers,
+but it makes the no-loss property structural rather than statistical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.agent import NegotiationAgent
+from repro.core.messages import (
+    AcceptMessage,
+    Message,
+    PreferenceAdvertisement,
+    ProposalMessage,
+    ReassignMessage,
+    RejectMessage,
+    StopMessage,
+)
+from repro.core.outcomes import NegotiationOutcome, RoundRecord, TerminationReason
+from repro.core.strategies import (
+    AlternatingTurns,
+    MaxCombinedProposals,
+    ProposalPolicy,
+    ReassignNever,
+    ReassignmentPolicy,
+    TurnPolicy,
+)
+from repro.errors import NegotiationError
+
+__all__ = ["SessionConfig", "NegotiationSession"]
+
+
+@dataclass
+class SessionConfig:
+    """Protocol-step policies agreed "contractually in advance".
+
+    Attributes:
+        turn_policy: who proposes each round (default: alternate).
+        proposal_policy: how the proposer picks (default: max combined sum,
+            local tie-break — the paper's experimental setting).
+        reassignment_policy: when preferences refresh (default: never).
+        rollback: enforce the win-win guarantee by rolling back trailing
+            concessions if either side ends below the default.
+        rollback_floors: minimum acceptable cumulative class gain per side,
+            ``(floor_a, floor_b)``. The default (0, 0) is the strict
+            no-worse-than-default guarantee; negative floors let an ISP
+            extend *credit* — accept a bounded loss now to be repaid in a
+            later session (the Section 3 "credits" idea, see
+            :mod:`repro.core.credits`). The private true-metric guard only
+            applies at a floor of 0, since credit is denominated in
+            preference classes.
+        max_rounds: safety valve (default: flows + slack).
+        record_messages: keep a full wire-message transcript.
+    """
+
+    turn_policy: TurnPolicy = field(default_factory=AlternatingTurns)
+    proposal_policy: ProposalPolicy = field(default_factory=MaxCombinedProposals)
+    reassignment_policy: ReassignmentPolicy = field(default_factory=ReassignNever)
+    rollback: bool = True
+    rollback_floors: tuple[float, float] = (0.0, 0.0)
+    max_rounds: int | None = None
+    record_messages: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.rollback_floors) != 2:
+            raise NegotiationError("rollback_floors must be a (a, b) pair")
+        if any(f > 0 for f in self.rollback_floors):
+            raise NegotiationError(
+                "rollback floors must be <= 0 (0 = strict no-loss)"
+            )
+
+
+class NegotiationSession:
+    """One bilateral negotiation over a fixed set of flows."""
+
+    def __init__(
+        self,
+        agent_a: NegotiationAgent,
+        agent_b: NegotiationAgent,
+        sizes: np.ndarray | None = None,
+        defaults: np.ndarray | None = None,
+        config: SessionConfig | None = None,
+    ):
+        self.agent_a = agent_a
+        self.agent_b = agent_b
+        self.config = config or SessionConfig()
+        shape_a = (agent_a.evaluator.n_flows, agent_a.evaluator.n_alternatives)
+        shape_b = (agent_b.evaluator.n_flows, agent_b.evaluator.n_alternatives)
+        if shape_a != shape_b:
+            raise NegotiationError(
+                f"agents disagree on problem shape: {shape_a} vs {shape_b}"
+            )
+        self.n_flows, self.n_alternatives = shape_a
+        if sizes is None:
+            self.sizes = np.ones(self.n_flows)
+        else:
+            self.sizes = np.asarray(sizes, dtype=float)
+            if self.sizes.shape != (self.n_flows,):
+                raise NegotiationError("sizes shape mismatch")
+            if self.n_flows and self.sizes.min() <= 0:
+                raise NegotiationError("flow sizes must be positive")
+        # The operational default routing: where flows land without any
+        # agreement. "The two ISPs need not agree on the default" for
+        # preference mapping, but the session needs one ground truth for
+        # the flows that remain un-negotiated. Defaults to ISP A's view.
+        if defaults is None:
+            self.defaults = np.asarray(agent_a.defaults, dtype=np.intp).copy()
+        else:
+            self.defaults = np.asarray(defaults, dtype=np.intp).copy()
+            if self.defaults.shape != (self.n_flows,):
+                raise NegotiationError("defaults shape mismatch")
+        if self.n_flows and (
+            self.defaults.min() < 0 or self.defaults.max() >= self.n_alternatives
+        ):
+            raise NegotiationError("default alternative out of range")
+        self.messages: list[Message] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _record(self, message: Message) -> None:
+        if self.config.record_messages:
+            self.messages.append(message)
+
+    def _advertise_initial(self) -> None:
+        if not self.config.record_messages:
+            return
+        for sender, agent in (("a", self.agent_a), ("b", self.agent_b)):
+            prefs = agent.disclosed_preferences()
+            self._record(
+                PreferenceAdvertisement(
+                    sender=sender,
+                    preferences=tuple(tuple(int(x) for x in row) for row in prefs),
+                    defaults=tuple(int(x) for x in agent.defaults),
+                )
+            )
+
+    # -- the protocol ----------------------------------------------------------
+
+    def run(self) -> NegotiationOutcome:
+        """Execute the session and return the (post-rollback) outcome."""
+        cfg = self.config
+        n_f = self.n_flows
+        remaining = np.ones(n_f, dtype=bool)
+        banned = np.zeros((n_f, self.n_alternatives), dtype=bool)
+        choices = self.defaults.copy()
+        negotiated = np.zeros(n_f, dtype=bool)
+        rounds: list[RoundRecord] = []
+        accepted_order: list[RoundRecord] = []
+        reassignments = 0
+        negotiated_size = 0.0
+        total_size = float(self.sizes.sum())
+        max_rounds = cfg.max_rounds
+        if max_rounds is None:
+            # Every flow needs at most one accepted round; allow slack for
+            # vetoed proposals.
+            max_rounds = n_f * (self.n_alternatives + 1) + 8
+
+        self.agent_a.reset()
+        self.agent_b.reset()
+        self._advertise_initial()
+
+        reason = TerminationReason.EXHAUSTED
+        round_index = 0
+        while remaining.any():
+            if round_index >= max_rounds:
+                reason = TerminationReason.ROUND_LIMIT
+                break
+
+            # Decide turn.
+            proposer = cfg.turn_policy.proposer(
+                round_index,
+                (self.agent_a.cumulative_gain, self.agent_b.cumulative_gain),
+            )
+
+            # Stop? On its turn, an ISP that perceives no additional gain
+            # in continuing declares stop instead of proposing. Checking
+            # only on one's own turn is essential to the win-win dynamic:
+            # the peer always gets its reciprocal turn before the other
+            # side can walk away with a one-sided gain.
+            proposing_agent = self.agent_a if proposer == 0 else self.agent_b
+            reassignable = getattr(cfg.reassignment_policy, "may_change", False)
+            if proposing_agent.wants_to_stop(remaining, reassignable=reassignable):
+                reason = (
+                    TerminationReason.EARLY_STOP_A
+                    if proposer == 0
+                    else TerminationReason.EARLY_STOP_B
+                )
+                self._record(
+                    StopMessage(
+                        sender="a" if proposer == 0 else "b", reason=reason.value
+                    )
+                )
+                break
+
+            prefs_a = self.agent_a.disclosed_preferences()
+            prefs_b = self.agent_b.disclosed_preferences()
+            own, other = (prefs_a, prefs_b) if proposer == 0 else (prefs_b, prefs_a)
+
+            # Propose an alternative.
+            candidates = remaining[:, np.newaxis] & ~banned
+            pick = cfg.proposal_policy.propose(
+                own, other, candidates, allow_zero=reassignable
+            )
+            if pick is None:
+                reason = TerminationReason.NO_JOINT_GAIN
+                break
+            flow_index, alternative = pick
+            pref_a = int(prefs_a[flow_index, alternative])
+            pref_b = int(prefs_b[flow_index, alternative])
+            sender = "a" if proposer == 0 else "b"
+            self._record(
+                ProposalMessage(
+                    sender=sender,
+                    round_index=round_index,
+                    flow_index=flow_index,
+                    alternative=alternative,
+                )
+            )
+
+            # Accept alternative?
+            responder = self.agent_b if proposer == 0 else self.agent_a
+            responder_pref = pref_b if proposer == 0 else pref_a
+            proposer_pref = pref_a if proposer == 0 else pref_b
+            accepted = responder.decide_accept(
+                flow_index, alternative, other_pref=proposer_pref
+            )
+            responder_name = "b" if proposer == 0 else "a"
+            if not accepted:
+                rounds.append(
+                    RoundRecord(
+                        round_index=round_index,
+                        proposer=proposer,
+                        flow_index=flow_index,
+                        alternative=alternative,
+                        pref_a=pref_a,
+                        pref_b=pref_b,
+                        accepted=False,
+                    )
+                )
+                self._record(
+                    RejectMessage(
+                        sender=responder_name,
+                        round_index=round_index,
+                        flow_index=flow_index,
+                        alternative=alternative,
+                    )
+                )
+                banned[flow_index, alternative] = True
+                round_index += 1
+                continue
+            self._record(
+                AcceptMessage(
+                    sender=responder_name,
+                    round_index=round_index,
+                    flow_index=flow_index,
+                    alternative=alternative,
+                )
+            )
+            del responder_pref  # tracked via the round record
+
+            # Commit: "Accepted flows are removed from the preference lists."
+            choices[flow_index] = alternative
+            remaining[flow_index] = False
+            negotiated[flow_index] = True
+            true_a = self.agent_a.commit(flow_index, alternative, pref_a)
+            true_b = self.agent_b.commit(flow_index, alternative, pref_b)
+            record = RoundRecord(
+                round_index=round_index,
+                proposer=proposer,
+                flow_index=flow_index,
+                alternative=alternative,
+                pref_a=pref_a,
+                pref_b=pref_b,
+                accepted=True,
+                true_a=true_a,
+                true_b=true_b,
+            )
+            rounds.append(record)
+            accepted_order.append(record)
+            negotiated_size += float(self.sizes[flow_index])
+
+            # Reassign preferences?
+            if cfg.reassignment_policy.should_reassign(negotiated_size, total_size):
+                self.agent_a.reassign(remaining)
+                self.agent_b.reassign(remaining)
+                cfg.reassignment_policy.mark_reassigned(negotiated_size)
+                reassignments += 1
+                if cfg.record_messages:
+                    for sender_name, agent in (("a", self.agent_a),
+                                               ("b", self.agent_b)):
+                        prefs = agent.disclosed_preferences()
+                        self._record(
+                            ReassignMessage(
+                                sender=sender_name,
+                                preferences=tuple(
+                                    tuple(int(x) for x in row) for row in prefs
+                                ),
+                            )
+                        )
+
+            round_index += 1
+
+        gain_a = self.agent_a.cumulative_gain
+        gain_b = self.agent_b.cumulative_gain
+        true_a = self.agent_a.true_cumulative
+        true_b = self.agent_b.true_cumulative
+
+        # Win-win rollback: undo concessions while either side is below its
+        # default — on the disclosed classes *or* on its private metric
+        # ("the ISP can partially or fully rollback the compromises made",
+        # Section 6). Each step removes the worst remaining trade for the
+        # side that is below default, so as few good trades as possible are
+        # sacrificed. Terminates at the empty agreement (0, 0).
+        rolled_back: list[int] = []
+        if cfg.rollback:
+            tol = 1e-9
+            floor_a, floor_b = cfg.rollback_floors
+            # The private true-metric guard only applies under the strict
+            # floor; credit (negative floors) is class-denominated.
+            guard_true_a = floor_a == 0.0
+            guard_true_b = floor_b == 0.0
+            while accepted_order:
+                if gain_a < floor_a:
+                    victim = min(accepted_order, key=lambda r: r.pref_a)
+                elif gain_b < floor_b:
+                    victim = min(accepted_order, key=lambda r: r.pref_b)
+                elif guard_true_a and true_a < -tol:
+                    victim = min(accepted_order, key=lambda r: r.true_a)
+                elif guard_true_b and true_b < -tol:
+                    victim = min(accepted_order, key=lambda r: r.true_b)
+                else:
+                    break
+                accepted_order.remove(victim)
+                choices[victim.flow_index] = self.defaults[victim.flow_index]
+                negotiated[victim.flow_index] = False
+                gain_a -= victim.pref_a
+                gain_b -= victim.pref_b
+                true_a -= victim.true_a
+                true_b -= victim.true_b
+                rolled_back.append(victim.round_index)
+
+        return NegotiationOutcome(
+            choices=choices,
+            negotiated=negotiated,
+            gain_a=gain_a,
+            gain_b=gain_b,
+            true_gain_a=true_a,
+            true_gain_b=true_b,
+            rounds=rounds,
+            rolled_back=rolled_back,
+            reason=reason,
+            reassignments=reassignments,
+        )

@@ -1,0 +1,21 @@
+"""Deployment layer (Section 6): integrating Nexit with ISP routing."""
+
+from repro.deploy.flow_signatures import (
+    FlowSignature,
+    FlowSignatureTable,
+    NewFlowAnnouncement,
+)
+from repro.deploy.netstate import LinkUtilization, NetworkStateSnapshot, collect_state
+from repro.deploy.service import ComplianceReport, NegotiationService, RouteDirective
+
+__all__ = [
+    "FlowSignature",
+    "NewFlowAnnouncement",
+    "FlowSignatureTable",
+    "LinkUtilization",
+    "NetworkStateSnapshot",
+    "collect_state",
+    "RouteDirective",
+    "NegotiationService",
+    "ComplianceReport",
+]

@@ -1,0 +1,84 @@
+"""Network-state collection (Section 6, "Input data").
+
+"The network path of a given flow can be computed using the current routing
+state ... Link utilization can be obtained using SNMP probes. Information on
+existing flows and their sizes can be gathered using NetFlow or similar
+tools." In this reproduction the simulator plays the role of SNMP/NetFlow:
+:func:`collect_state` snapshots an ISP's link loads and capacities into the
+structure a negotiation agent consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.topology.isp import ISPTopology
+
+__all__ = ["LinkUtilization", "NetworkStateSnapshot", "collect_state"]
+
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    """One link's SNMP-style reading."""
+
+    link_index: int
+    load: float
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise CapacityError("capacity must be positive")
+        if self.load < 0:
+            raise CapacityError("load must be non-negative")
+
+    @property
+    def utilization(self) -> float:
+        return self.load / self.capacity
+
+
+@dataclass(frozen=True)
+class NetworkStateSnapshot:
+    """A point-in-time view of one ISP's network used as negotiation input."""
+
+    isp_name: str
+    links: tuple[LinkUtilization, ...]
+
+    def loads(self) -> np.ndarray:
+        return np.asarray([l.load for l in self.links], dtype=float)
+
+    def capacities(self) -> np.ndarray:
+        return np.asarray([l.capacity for l in self.links], dtype=float)
+
+    def max_utilization(self) -> float:
+        if not self.links:
+            return 0.0
+        return max(l.utilization for l in self.links)
+
+    def hotspots(self, threshold: float = 0.8) -> list[LinkUtilization]:
+        """Links above the given utilization (candidates for negotiation)."""
+        return [l for l in self.links if l.utilization >= threshold]
+
+
+def collect_state(
+    isp: ISPTopology,
+    loads: np.ndarray,
+    capacities: np.ndarray,
+) -> NetworkStateSnapshot:
+    """Snapshot an ISP's link state (the simulator's SNMP poll)."""
+    loads = np.asarray(loads, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    n = isp.n_links()
+    if loads.shape != (n,) or capacities.shape != (n,):
+        raise CapacityError(
+            f"expected {n} link readings for {isp.name}, got "
+            f"{loads.shape} loads / {capacities.shape} capacities"
+        )
+    links = tuple(
+        LinkUtilization(link_index=i, load=float(loads[i]),
+                        capacity=float(capacities[i]))
+        for i in range(n)
+    )
+    return NetworkStateSnapshot(isp_name=isp.name, links=links)

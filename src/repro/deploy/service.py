@@ -1,0 +1,125 @@
+"""The negotiation agent service (Section 6, Figure 12).
+
+"Logically, the negotiation agents sit on top of the routing
+infrastructure. They collect data concerning the state of the network as
+inputs to negotiation and appropriately configure the routers to implement
+the negotiated solution." — an out-of-band architecture (like RCP): once a
+session concludes, the agreement is compiled into per-flow BGP local-pref
+directives; compliance of the observed traffic is verified afterwards, and
+non-compliance triggers (partial) rollback of the compromises made in
+return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.outcomes import NegotiationOutcome
+from repro.deploy.flow_signatures import FlowSignature
+from repro.errors import ProtocolError
+
+__all__ = ["RouteDirective", "ComplianceReport", "NegotiationService"]
+
+#: local-pref used for negotiated paths; higher than any default so the BGP
+#: decision process always honors the agreement.
+NEGOTIATED_LOCAL_PREF = 200
+DEFAULT_LOCAL_PREF = 100
+
+
+@dataclass(frozen=True)
+class RouteDirective:
+    """One router-configuration action implementing a negotiated choice.
+
+    Attributes:
+        signature: which flow the directive applies to.
+        interconnection: the agreed interconnection index.
+        local_pref: BGP local-pref to install for the flow's route via the
+            agreed interconnection.
+    """
+
+    signature: FlowSignature
+    interconnection: int
+    local_pref: int = NEGOTIATED_LOCAL_PREF
+
+    def __post_init__(self) -> None:
+        if self.interconnection < 0:
+            raise ProtocolError("interconnection index must be >= 0")
+        if self.local_pref <= DEFAULT_LOCAL_PREF:
+            raise ProtocolError(
+                "negotiated local-pref must exceed the default local-pref"
+            )
+
+
+@dataclass
+class ComplianceReport:
+    """Result of verifying observed traffic against the agreement.
+
+    "ISPs can easily verify whether the traffic exchange complies with what
+    was negotiated. If unilateral changes are detected ... the ISP can
+    partially or fully rollback the compromises made in return."
+    """
+
+    compliant: list[FlowSignature] = field(default_factory=list)
+    violations: list[tuple[FlowSignature, int, int]] = field(default_factory=list)
+
+    @property
+    def is_compliant(self) -> bool:
+        return not self.violations
+
+
+class NegotiationService:
+    """Compiles negotiation outcomes into directives and verifies them."""
+
+    def __init__(self, signatures: list[FlowSignature]):
+        if len({(s.src_prefix, s.dst_prefix, s.ingress_id) for s in signatures}) != len(
+            signatures
+        ):
+            raise ProtocolError("flow signatures must be unique")
+        self._signatures = list(signatures)
+
+    @property
+    def signatures(self) -> list[FlowSignature]:
+        return list(self._signatures)
+
+    def compile_directives(self, outcome: NegotiationOutcome) -> list[RouteDirective]:
+        """Directives for the flows whose agreed path differs from default.
+
+        Flows left at their default need no configuration — BGP's existing
+        decision process already routes them there.
+        """
+        if len(outcome.choices) != len(self._signatures):
+            raise ProtocolError(
+                f"outcome covers {len(outcome.choices)} flows, service knows "
+                f"{len(self._signatures)} signatures"
+            )
+        directives = []
+        for i, signature in enumerate(self._signatures):
+            if outcome.negotiated[i]:
+                directives.append(
+                    RouteDirective(
+                        signature=signature,
+                        interconnection=int(outcome.choices[i]),
+                    )
+                )
+        return directives
+
+    def verify(
+        self,
+        outcome: NegotiationOutcome,
+        observed_choices: np.ndarray,
+    ) -> ComplianceReport:
+        """Compare observed per-flow interconnections with the agreement."""
+        observed = np.asarray(observed_choices, dtype=np.intp)
+        if observed.shape != outcome.choices.shape:
+            raise ProtocolError("observed choices shape mismatch")
+        report = ComplianceReport()
+        for i, signature in enumerate(self._signatures):
+            agreed = int(outcome.choices[i])
+            seen = int(observed[i])
+            if seen == agreed:
+                report.compliant.append(signature)
+            else:
+                report.violations.append((signature, agreed, seen))
+        return report

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the Nexit reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from protocol
+violations or infeasible optimization instances.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "RoutingError",
+    "TrafficError",
+    "CapacityError",
+    "PreferenceError",
+    "ProtocolError",
+    "NegotiationError",
+    "OptimizationError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (unknown PoP, disconnected graph, bad link)."""
+
+
+class RoutingError(ReproError):
+    """A routing computation failed (no path, unknown flow, bad exit)."""
+
+
+class TrafficError(ReproError):
+    """A traffic matrix or workload model is invalid."""
+
+
+class CapacityError(ReproError):
+    """Capacity provisioning failed or produced invalid capacities."""
+
+
+class PreferenceError(ReproError):
+    """A preference value or preference list violates the Nexit contract."""
+
+
+class ProtocolError(ReproError):
+    """The negotiation protocol was violated (bad message, wrong turn)."""
+
+
+class NegotiationError(ReproError):
+    """A negotiation session reached an invalid internal state."""
+
+
+class OptimizationError(ReproError):
+    """A globally-optimal routing computation failed (e.g. infeasible LP)."""
+
+
+class SerializationError(ReproError):
+    """Topology or message (de)serialization failed."""

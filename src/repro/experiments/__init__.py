@@ -1,0 +1,44 @@
+"""Experiment harness: one runner per figure of the paper's evaluation."""
+
+from repro.experiments.bandwidth import (
+    BandwidthCaseResult,
+    BandwidthExperimentResult,
+    run_bandwidth_case,
+    run_bandwidth_experiment,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distance import (
+    DistanceExperimentResult,
+    DistancePairResult,
+    run_distance_experiment,
+    run_distance_pair,
+)
+from repro.experiments.extensions import (
+    DestinationPairResult,
+    build_destination_problem,
+    run_destination_based_pair,
+)
+from repro.experiments.oscillation import (
+    OscillationResult,
+    simulate_best_response,
+)
+from repro.experiments.report import format_cdf_block, format_claims
+
+__all__ = [
+    "ExperimentConfig",
+    "DistancePairResult",
+    "DistanceExperimentResult",
+    "run_distance_pair",
+    "run_distance_experiment",
+    "BandwidthCaseResult",
+    "BandwidthExperimentResult",
+    "run_bandwidth_case",
+    "run_bandwidth_experiment",
+    "format_cdf_block",
+    "format_claims",
+    "DestinationPairResult",
+    "build_destination_problem",
+    "run_destination_based_pair",
+    "OscillationResult",
+    "simulate_best_response",
+]

@@ -1,0 +1,80 @@
+"""Secondary analyses the paper mentions but omits for space.
+
+* "We also find that, in general, ISPs with more interconnections gain more
+  through negotiation. We omit this analysis due to space constraints."
+  — :func:`gain_by_interconnection_count`.
+* "only a fraction of flows — roughly 20% in our experiment — need to be
+  non-default routed to get most of the gain"
+  — :func:`gain_concentration_curve`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.distance import (
+    DistanceExperimentResult,
+    DistanceProblem,
+)
+
+__all__ = ["gain_by_interconnection_count", "gain_concentration_curve"]
+
+
+def gain_by_interconnection_count(
+    result: DistanceExperimentResult,
+) -> dict[int, tuple[int, float]]:
+    """Median negotiated total gain, grouped by interconnection count.
+
+    Returns ``{n_interconnections: (n_pairs, median_gain_pct)}``.
+    """
+    groups: dict[int, list[float]] = {}
+    for pair_result in result.pairs:
+        groups.setdefault(pair_result.n_interconnections, []).append(
+            pair_result.total_gain_negotiated
+        )
+    return {
+        count: (len(values), float(np.median(values)))
+        for count, values in sorted(groups.items())
+    }
+
+
+def gain_concentration_curve(
+    problem: DistanceProblem,
+    choices: np.ndarray,
+    points: int = 11,
+) -> list[tuple[float, float]]:
+    """How much of the total gain the best-moved flows capture.
+
+    Orders the flows moved off their default by their individual
+    contribution to the total distance gain and returns
+    ``(fraction of all flows moved, fraction of total gain captured)``
+    rows. The paper's claim is that moving ~20% of flows captures most of
+    the achievable gain.
+    """
+    if points < 2:
+        raise ConfigurationError("need at least 2 curve points")
+    choices = np.asarray(choices, dtype=np.intp)
+    base = problem.per_flow_km(problem.defaults)
+    final = problem.per_flow_km(choices)
+    contributions = base - final  # km saved per flow (can be negative)
+    moved = np.flatnonzero(choices != problem.defaults)
+    total_gain = float(contributions[moved].sum()) if moved.size else 0.0
+
+    n_flows = problem.n_flows
+    curve: list[tuple[float, float]] = [(0.0, 0.0)]
+    if moved.size == 0 or total_gain <= 0:
+        curve.extend(
+            (f / (points - 1), 0.0) for f in range(1, points)
+        )
+        return curve
+
+    order = moved[np.argsort(-contributions[moved])]
+    cumulative = np.cumsum(contributions[order])
+    for step in range(1, points):
+        flow_fraction = step / (points - 1)
+        k = int(round(flow_fraction * n_flows))
+        k = min(k, order.size)
+        captured = float(cumulative[k - 1]) if k > 0 else 0.0
+        curve.append((flow_fraction, captured / total_gain))
+    return curve

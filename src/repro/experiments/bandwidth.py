@@ -1,0 +1,468 @@
+"""The bandwidth experiment (Section 5.2: Figures 7, 8, 9 and 11).
+
+Per (pair, failed interconnection) case:
+
+1. Build the gravity-model flow set A->B and route it early-exit over the
+   intact pair; provision capacities proportional to those pre-failure
+   loads (median fill-in for unused links, upgrade-to-median).
+2. Fail one interconnection. Flows whose pre-failure exit was the failed
+   one are *affected*; everything else is background traffic.
+3. Re-route the affected flows three ways — default (early-exit over the
+   surviving interconnections), negotiated (Nexit with load-aware
+   preferences, reassigned each 5% of traffic), and optimal (the
+   fractional min-max-load LP over both ISPs) — plus, optionally, the
+   upstream-unilateral LP (Figure 8), a heterogeneous-objective variant
+   (Figure 9: upstream bandwidth / downstream distance), and a cheating
+   upstream (Figure 11).
+4. Score everything by MEL (max load/capacity over a network's links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capacity.loads import link_loads
+from repro.capacity.provisioning import ProportionalCapacity
+from repro.core.agent import NegotiationAgent
+from repro.core.cheating import CheatingAgent
+from repro.core.evaluators import LoadAwareEvaluator, StaticCostEvaluator
+from repro.core.mapping import AutoScaleDeltaMapper
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import ReassignEveryFraction
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.geo.cities import default_city_database
+from repro.geo.population import PopulationModel
+from repro.metrics.mel import max_excess_load
+from repro.optimal.bandwidth_lp import fractional_loads, solve_min_max_load_lp
+from repro.optimal.unilateral import solve_upstream_unilateral_lp
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices
+from repro.routing.flows import build_full_flowset
+from repro.routing.paths import IntradomainRouting
+from repro.topology.dataset import build_default_dataset
+from repro.topology.interconnect import IspPair
+from repro.traffic.gravity import GravityWorkload
+from repro.util.cdf import Cdf
+
+__all__ = [
+    "BandwidthCaseResult",
+    "BandwidthExperimentResult",
+    "run_bandwidth_case",
+    "run_bandwidth_experiment",
+]
+
+_EPS = 1e-9
+
+
+@dataclass
+class BandwidthCaseResult:
+    """MELs for one hypothesized interconnection failure.
+
+    Per-side MELs for each method; ``None`` for variants not requested.
+    The ``mel_opt_*`` values come from the joint fractional LP.
+    """
+
+    pair_name: str
+    failed_city: str
+    n_affected: int
+    mel_default_a: float
+    mel_default_b: float
+    mel_negotiated_a: float
+    mel_negotiated_b: float
+    mel_opt_a: float
+    mel_opt_b: float
+    mel_opt_joint: float
+    mel_unilateral_a: float | None = None
+    mel_unilateral_b: float | None = None
+    mel_cheat_a: float | None = None
+    mel_cheat_b: float | None = None
+    # Figure 9 (diverse objectives): upstream MEL + downstream distance gain.
+    mel_diverse_a: float | None = None
+    diverse_downstream_gain_pct: float | None = None
+
+    @staticmethod
+    def _ratio(value: float, reference: float) -> float:
+        if reference <= _EPS:
+            return 1.0 if value <= _EPS else float("inf")
+        return value / reference
+
+    def ratio_default_a(self) -> float:
+        return self._ratio(self.mel_default_a, self.mel_opt_a)
+
+    def ratio_default_b(self) -> float:
+        return self._ratio(self.mel_default_b, self.mel_opt_b)
+
+    def ratio_negotiated_a(self) -> float:
+        return self._ratio(self.mel_negotiated_a, self.mel_opt_a)
+
+    def ratio_negotiated_b(self) -> float:
+        return self._ratio(self.mel_negotiated_b, self.mel_opt_b)
+
+    def ratio_unilateral_downstream_vs_default(self) -> float | None:
+        """Figure 8's x-axis: downstream MEL, unilateral / default."""
+        if self.mel_unilateral_b is None:
+            return None
+        return self._ratio(self.mel_unilateral_b, self.mel_default_b)
+
+
+@dataclass(frozen=True)
+class _CaseContext:
+    """Shared precomputation for all failures of one pair."""
+
+    pair: IspPair
+    table_pre: object
+    default_pre: np.ndarray
+    caps_a: np.ndarray
+    caps_b: np.ndarray
+    routing_a: IntradomainRouting
+    routing_b: IntradomainRouting
+    size_fn: object
+
+
+def _build_context(
+    pair: IspPair,
+    workload,
+    provisioner: ProportionalCapacity | None = None,
+) -> _CaseContext:
+    routing_a = IntradomainRouting(pair.isp_a)
+    routing_b = IntradomainRouting(pair.isp_b)
+    size_fn = workload.size_fn(pair)
+    flowset = build_full_flowset(pair, size_fn)
+    table_pre = build_pair_cost_table(pair, flowset, routing_a, routing_b)
+    default_pre = early_exit_choices(table_pre)
+    provisioner = provisioner or ProportionalCapacity()
+    caps_a = provisioner.capacities(link_loads(table_pre, default_pre, "a"))
+    caps_b = provisioner.capacities(link_loads(table_pre, default_pre, "b"))
+    return _CaseContext(
+        pair=pair,
+        table_pre=table_pre,
+        default_pre=default_pre,
+        caps_a=caps_a,
+        caps_b=caps_b,
+        routing_a=routing_a,
+        routing_b=routing_b,
+        size_fn=size_fn,
+    )
+
+
+def _negotiate_bandwidth(
+    sub_table,
+    defaults_sub: np.ndarray,
+    caps_a: np.ndarray,
+    caps_b: np.ndarray,
+    base_a: np.ndarray,
+    base_b: np.ndarray,
+    config: ExperimentConfig,
+    upstream_cheats: bool = False,
+    downstream_distance: bool = False,
+) -> np.ndarray:
+    """Run a Nexit session over the affected flows; return sub-choices."""
+    p_range = PreferenceRange(config.preference_p)
+    ev_a = LoadAwareEvaluator(
+        sub_table,
+        "a",
+        caps_a,
+        defaults_sub,
+        base_loads=base_a,
+        range_=p_range,
+        ratio_unit=config.ratio_unit,
+    )
+    if downstream_distance:
+        ev_b = StaticCostEvaluator(
+            sub_table.down_km, defaults_sub, AutoScaleDeltaMapper(p_range)
+        )
+    else:
+        ev_b = LoadAwareEvaluator(
+            sub_table,
+            "b",
+            caps_b,
+            defaults_sub,
+            base_loads=base_b,
+            range_=p_range,
+            ratio_unit=config.ratio_unit,
+        )
+    agent_b = NegotiationAgent("b", ev_b)
+    if upstream_cheats:
+        agent_a: NegotiationAgent = CheatingAgent(
+            "a", ev_a, opponent=agent_b, range_=p_range
+        )
+    else:
+        agent_a = NegotiationAgent("a", ev_a)
+    session = NegotiationSession(
+        agent_a,
+        agent_b,
+        sizes=sub_table.flowset.sizes(),
+        defaults=defaults_sub,
+        config=SessionConfig(
+            reassignment_policy=ReassignEveryFraction(config.reassign_fraction)
+        ),
+    )
+    return session.run().choices
+
+
+def _negotiate_bandwidth_iterated(
+    sub_table,
+    defaults_sub: np.ndarray,
+    caps_a: np.ndarray,
+    caps_b: np.ndarray,
+    base_a: np.ndarray,
+    base_b: np.ndarray,
+    config: ExperimentConfig,
+    max_passes: int = 3,
+) -> np.ndarray:
+    """Continuous renegotiation with Pareto acceptance.
+
+    Section 6: negotiation "will be a continuous process ... used to
+    continually find routing patterns that benefit both ISPs". Each pass
+    re-runs the protocol with the previous agreement as the default; the
+    new agreement is adopted only if it leaves neither ISP worse off (by
+    its own network MEL), otherwise renegotiation stops.
+    """
+
+    def side_mels(choices: np.ndarray) -> tuple[float, float]:
+        loads_a = link_loads(sub_table, choices, "a") + base_a
+        loads_b = link_loads(sub_table, choices, "b") + base_b
+        return (
+            max_excess_load(loads_a, caps_a),
+            max_excess_load(loads_b, caps_b),
+        )
+
+    current = np.asarray(defaults_sub, dtype=np.intp).copy()
+    mel_a, mel_b = side_mels(current)
+    for _ in range(max_passes):
+        proposal = _negotiate_bandwidth(
+            sub_table, current, caps_a, caps_b, base_a, base_b, config
+        )
+        if np.array_equal(proposal, current):
+            break
+        new_a, new_b = side_mels(proposal)
+        if new_a > mel_a + 1e-12 or new_b > mel_b + 1e-12:
+            break  # one side would veto the re-routed configuration
+        current, mel_a, mel_b = proposal, new_a, new_b
+    return current
+
+
+def run_bandwidth_case(
+    context_or_pair,
+    failed_ic_index: int,
+    config: ExperimentConfig | None = None,
+    workload: GravityWorkload | None = None,
+    include_unilateral: bool = False,
+    include_cheating: bool = False,
+    include_diverse: bool = False,
+) -> BandwidthCaseResult:
+    """Evaluate one interconnection failure (see module docstring)."""
+    config = config or ExperimentConfig()
+    if isinstance(context_or_pair, IspPair):
+        workload = workload or GravityWorkload(
+            PopulationModel(default_city_database())
+        )
+        context = _build_context(context_or_pair, workload)
+    else:
+        context = context_or_pair
+    pair = context.pair
+    if pair.n_interconnections() < 3:
+        raise ConfigurationError(
+            "bandwidth cases need >= 3 interconnections (2 must survive)"
+        )
+
+    failed_city = pair.interconnections[failed_ic_index].city
+    failed_pair = pair.without_interconnection(failed_ic_index)
+    flowset_post = build_full_flowset(failed_pair, context.size_fn)
+    table_post = build_pair_cost_table(
+        failed_pair, flowset_post, context.routing_a, context.routing_b
+    )
+    default_post = early_exit_choices(table_post)
+
+    affected = np.asarray(context.default_pre) == failed_ic_index
+    affected_idx = np.flatnonzero(affected)
+    base_a = link_loads(table_post, default_post, "a", active=~affected)
+    base_b = link_loads(table_post, default_post, "b", active=~affected)
+
+    # Default routing MEL (early-exit re-route of the affected flows).
+    loads_def_a = link_loads(table_post, default_post, "a")
+    loads_def_b = link_loads(table_post, default_post, "b")
+    mel_def_a = max_excess_load(loads_def_a, context.caps_a)
+    mel_def_b = max_excess_load(loads_def_b, context.caps_b)
+
+    sub_table = table_post.subset(affected_idx)
+    defaults_sub = default_post[affected_idx]
+
+    # Globally optimal (fractional LP over both ISPs).
+    lp = solve_min_max_load_lp(
+        sub_table, context.caps_a, context.caps_b, base_a, base_b
+    )
+    mel_opt_a = max_excess_load(
+        fractional_loads(sub_table, lp.fractions, "a", base_a), context.caps_a
+    )
+    mel_opt_b = max_excess_load(
+        fractional_loads(sub_table, lp.fractions, "b", base_b), context.caps_b
+    )
+
+    # Negotiated routing (continuous renegotiation, Pareto-gated).
+    sub_choices = _negotiate_bandwidth_iterated(
+        sub_table, defaults_sub, context.caps_a, context.caps_b,
+        base_a, base_b, config,
+    )
+    full_neg = default_post.copy()
+    full_neg[affected_idx] = sub_choices
+    mel_neg_a = max_excess_load(
+        link_loads(table_post, full_neg, "a"), context.caps_a
+    )
+    mel_neg_b = max_excess_load(
+        link_loads(table_post, full_neg, "b"), context.caps_b
+    )
+
+    result = BandwidthCaseResult(
+        pair_name=pair.name,
+        failed_city=failed_city,
+        n_affected=int(affected.sum()),
+        mel_default_a=mel_def_a,
+        mel_default_b=mel_def_b,
+        mel_negotiated_a=mel_neg_a,
+        mel_negotiated_b=mel_neg_b,
+        mel_opt_a=mel_opt_a,
+        mel_opt_b=mel_opt_b,
+        mel_opt_joint=lp.t,
+    )
+
+    if include_unilateral:
+        uni = solve_upstream_unilateral_lp(
+            sub_table, context.caps_a, context.caps_b, base_a, base_b
+        )
+        result.mel_unilateral_a = max_excess_load(
+            fractional_loads(sub_table, uni.fractions, "a", base_a),
+            context.caps_a,
+        )
+        result.mel_unilateral_b = max_excess_load(
+            fractional_loads(sub_table, uni.fractions, "b", base_b),
+            context.caps_b,
+        )
+
+    if include_cheating:
+        cheat_sub = _negotiate_bandwidth(
+            sub_table, defaults_sub, context.caps_a, context.caps_b,
+            base_a, base_b, config, upstream_cheats=True,
+        )
+        full_cheat = default_post.copy()
+        full_cheat[affected_idx] = cheat_sub
+        result.mel_cheat_a = max_excess_load(
+            link_loads(table_post, full_cheat, "a"), context.caps_a
+        )
+        result.mel_cheat_b = max_excess_load(
+            link_loads(table_post, full_cheat, "b"), context.caps_b
+        )
+
+    if include_diverse:
+        div_sub = _negotiate_bandwidth(
+            sub_table, defaults_sub, context.caps_a, context.caps_b,
+            base_a, base_b, config, downstream_distance=True,
+        )
+        full_div = default_post.copy()
+        full_div[affected_idx] = div_sub
+        result.mel_diverse_a = max_excess_load(
+            link_loads(table_post, full_div, "a"), context.caps_a
+        )
+        # Downstream distance gain over the affected flows.
+        rows = np.arange(sub_table.n_flows)
+        km_def = float(sub_table.down_km[rows, defaults_sub].sum())
+        km_div = float(sub_table.down_km[rows, div_sub].sum())
+        result.diverse_downstream_gain_pct = (
+            0.0 if km_def <= 0 else 100.0 * (km_def - km_div) / km_def
+        )
+
+    return result
+
+
+@dataclass
+class BandwidthExperimentResult:
+    """Aggregated failure cases (Figures 7, 8, 9, 11 series)."""
+
+    cases: list[BandwidthCaseResult] = field(default_factory=list)
+
+    def _cdf(self, values: list[float], label: str) -> Cdf:
+        finite = [v for v in values if v is not None and np.isfinite(v)]
+        return Cdf(values=tuple(finite), label=label)
+
+    # Figure 7 panels.
+    def cdf_ratio(self, method: str, side: str) -> Cdf:
+        getter = {
+            ("default", "a"): lambda c: c.ratio_default_a(),
+            ("default", "b"): lambda c: c.ratio_default_b(),
+            ("negotiated", "a"): lambda c: c.ratio_negotiated_a(),
+            ("negotiated", "b"): lambda c: c.ratio_negotiated_b(),
+            ("cheating", "a"): lambda c: (
+                None if c.mel_cheat_a is None
+                else c._ratio(c.mel_cheat_a, c.mel_opt_a)
+            ),
+            ("cheating", "b"): lambda c: (
+                None if c.mel_cheat_b is None
+                else c._ratio(c.mel_cheat_b, c.mel_opt_b)
+            ),
+            ("diverse", "a"): lambda c: (
+                None if c.mel_diverse_a is None
+                else c._ratio(c.mel_diverse_a, c.mel_opt_a)
+            ),
+        }[(method, side)]
+        return self._cdf(
+            [getter(c) for c in self.cases],
+            label=f"MEL ratio {method}/{side.upper()}",
+        )
+
+    # Figure 8.
+    def cdf_unilateral_downstream(self) -> Cdf:
+        return self._cdf(
+            [c.ratio_unilateral_downstream_vs_default() for c in self.cases],
+            label="downstream MEL: unilateral/default",
+        )
+
+    # Figure 9 right panel.
+    def cdf_diverse_downstream_gain(self) -> Cdf:
+        return self._cdf(
+            [c.diverse_downstream_gain_pct for c in self.cases],
+            label="downstream distance gain %",
+        )
+
+
+def run_bandwidth_experiment(
+    config: ExperimentConfig | None = None,
+    include_unilateral: bool = False,
+    include_cheating: bool = False,
+    include_diverse: bool = False,
+    workload=None,
+    provisioner: ProportionalCapacity | None = None,
+) -> BandwidthExperimentResult:
+    """Run the Section 5.2 experiment over the configured dataset.
+
+    ``workload`` and ``provisioner`` default to the paper's primary models
+    (gravity traffic, capacity proportional to pre-failure load with
+    median fill-in); pass alternates for the robustness sweeps.
+    """
+    config = config or ExperimentConfig()
+    dataset = build_default_dataset(config.dataset)
+    pairs = dataset.pairs(
+        min_interconnections=3, max_pairs=config.max_pairs_bandwidth
+    )
+    workload = workload or GravityWorkload(PopulationModel(dataset.city_db))
+    result = BandwidthExperimentResult()
+    for pair in pairs:
+        context = _build_context(pair, workload, provisioner)
+        n_fail = pair.n_interconnections()
+        if config.max_failures_per_pair is not None:
+            n_fail = min(n_fail, config.max_failures_per_pair)
+        for k in range(n_fail):
+            result.cases.append(
+                run_bandwidth_case(
+                    context,
+                    k,
+                    config,
+                    include_unilateral=include_unilateral,
+                    include_cheating=include_cheating,
+                    include_diverse=include_diverse,
+                )
+            )
+    return result

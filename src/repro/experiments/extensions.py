@@ -1,0 +1,181 @@
+"""Extensions the paper sketches but does not evaluate in the main text.
+
+* **Destination-based routing** (endnote 2): "By using more flexible flow
+  definitions, Nexit can be extended to destination-based routing ...
+  Empirical evaluation with destination-based routing yields results
+  similar to those in Section 5." Here a flow is all traffic toward one
+  destination PoP, regardless of source: the negotiation assigns a single
+  interconnection per (destination, direction), and each ISP's cost for an
+  alternative is the aggregate distance over all sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import StaticCostEvaluator
+from repro.core.mapping import AutoScaleDeltaMapper
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distance import DistanceProblem, build_distance_problem
+from repro.metrics.distance import percent_gain
+from repro.routing.costs import PairCostTable
+from repro.topology.interconnect import IspPair
+
+__all__ = [
+    "DestinationProblem",
+    "build_destination_problem",
+    "run_destination_based_pair",
+    "DestinationPairResult",
+]
+
+
+@dataclass(frozen=True)
+class DestinationProblem:
+    """Both directions aggregated per destination PoP.
+
+    Row layout: the first ``n_dst_b`` rows are destinations in ISP B
+    (traffic A->B), the rest destinations in ISP A (traffic B->A).
+    ``cost_a[d, i]`` is the total distance inside ISP A if all traffic to
+    destination ``d`` uses interconnection ``i``.
+    """
+
+    pair: IspPair
+    cost_a: np.ndarray
+    cost_b: np.ndarray
+    total: np.ndarray
+    defaults: np.ndarray
+    n_dst_b: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.cost_a.shape[0]
+
+    def totals(self, choices: np.ndarray) -> tuple[float, float, float]:
+        rows = np.arange(self.n_rows)
+        km_a = float(self.cost_a[rows, choices].sum())
+        km_b = float(self.cost_b[rows, choices].sum())
+        return float(self.total[rows, choices].sum()), km_a, km_b
+
+
+def _aggregate_direction(table: PairCostTable) -> tuple[np.ndarray, np.ndarray,
+                                                        np.ndarray]:
+    """Sum per-flow costs into per-destination costs, (n_dst, I) each."""
+    n_dst = table.pair.isp_b.n_pops()
+    n_i = table.n_alternatives
+    up = np.zeros((n_dst, n_i))
+    down = np.zeros((n_dst, n_i))
+    total = np.zeros((n_dst, n_i))
+    full_total = table.total_km()
+    for flow in table.flowset:
+        up[flow.dst] += table.up_km[flow.index]
+        down[flow.dst] += table.down_km[flow.index]
+        total[flow.dst] += full_total[flow.index]
+    return up, down, total
+
+
+def build_destination_problem(
+    pair: IspPair,
+    source_problem: DistanceProblem | None = None,
+) -> DestinationProblem:
+    """Aggregate the source-destination problem per destination.
+
+    The default alternative per destination is the interconnection that
+    minimizes the upstream's aggregate weight-distance — the coarsest
+    destination-granular analogue of hot-potato routing (per-source early
+    exit cannot be expressed when one choice covers every source).
+    """
+    problem = source_problem or build_distance_problem(pair)
+    up_ab, down_ab, total_ab = _aggregate_direction(problem.table_ab)
+    up_ba, down_ba, total_ba = _aggregate_direction(problem.table_ba)
+
+    cost_a = np.vstack([up_ab, down_ba])
+    cost_b = np.vstack([down_ab, up_ba])
+    total = np.vstack([total_ab, total_ba])
+
+    # Aggregate hot potato: per destination, minimize the upstream's total
+    # weight-distance across sources.
+    agg_up_w_ab = np.zeros_like(up_ab)
+    for flow in problem.table_ab.flowset:
+        agg_up_w_ab[flow.dst] += problem.table_ab.up_weight[flow.index]
+    agg_up_w_ba = np.zeros_like(up_ba)
+    for flow in problem.table_ba.flowset:
+        agg_up_w_ba[flow.dst] += problem.table_ba.up_weight[flow.index]
+    defaults = np.concatenate(
+        [np.argmin(agg_up_w_ab, axis=1), np.argmin(agg_up_w_ba, axis=1)]
+    ).astype(np.intp)
+
+    return DestinationProblem(
+        pair=pair,
+        cost_a=cost_a,
+        cost_b=cost_b,
+        total=total,
+        defaults=defaults,
+        n_dst_b=up_ab.shape[0],
+    )
+
+
+@dataclass
+class DestinationPairResult:
+    """Destination-based vs source-destination routing on one pair."""
+
+    pair_name: str
+    n_destinations: int
+    total_gain_optimal: float
+    total_gain_negotiated: float
+    gain_a_negotiated: float
+    gain_b_negotiated: float
+    #: the source-destination negotiated gain on the same pair, for the
+    #: endnote-2 comparison.
+    source_dest_gain: float
+
+
+def run_destination_based_pair(
+    pair: IspPair,
+    config: ExperimentConfig | None = None,
+) -> DestinationPairResult:
+    """Negotiate at destination granularity and compare with Section 5.1."""
+    config = config or ExperimentConfig()
+    p_range = PreferenceRange(config.preference_p)
+    source_problem = build_distance_problem(pair)
+    problem = build_destination_problem(pair, source_problem)
+
+    tot_def, a_def, b_def = problem.totals(problem.defaults)
+    optimal = np.argmin(problem.total, axis=1)
+    tot_opt, _, _ = problem.totals(optimal)
+
+    mapper = lambda: AutoScaleDeltaMapper(  # noqa: E731
+        p_range, conservative=False, quantile=100.0
+    )
+    session = NegotiationSession(
+        NegotiationAgent(
+            "a", StaticCostEvaluator(problem.cost_a, problem.defaults, mapper())
+        ),
+        NegotiationAgent(
+            "b", StaticCostEvaluator(problem.cost_b, problem.defaults, mapper())
+        ),
+        defaults=problem.defaults,
+    )
+    outcome = session.run()
+    tot_neg, a_neg, b_neg = problem.totals(outcome.choices)
+
+    # Source-destination comparison on the same pair.
+    from repro.experiments.distance import _negotiate
+
+    sd_choices = _negotiate(source_problem, p_range)
+    sd_def, _, _ = source_problem.totals(source_problem.defaults)
+    sd_neg, _, _ = source_problem.totals(sd_choices)
+
+    return DestinationPairResult(
+        pair_name=pair.name,
+        n_destinations=problem.n_rows,
+        total_gain_optimal=percent_gain(tot_def, tot_opt),
+        total_gain_negotiated=percent_gain(tot_def, tot_neg),
+        gain_a_negotiated=percent_gain(a_def, a_neg),
+        gain_b_negotiated=percent_gain(b_def, b_neg),
+        source_dest_gain=percent_gain(sd_def, sd_neg),
+    )

@@ -1,0 +1,153 @@
+"""The cycle of influence: routing oscillation without coordination.
+
+Section 2.2 (adapted from a real incident that "lasted for two days"):
+after a failure, ISP-A re-routes by early-exit and congests ISP-B; ISP-B
+shifts traffic with MEDs and congests ISP-A; ISP-A shifts it back; repeat.
+"The joint agreement [of negotiation] precludes the possibility of a cycle
+of influence by design."
+
+:func:`simulate_best_response` plays this out mechanically: the two ISPs
+alternate unilateral best-response moves (each re-routes one flow to reduce
+its own MEL, using the control BGP gives it), and the simulator reports
+whether the system reaches a fixed point or revisits a state — an
+oscillation. On the Figure 2 scenario it oscillates exactly as the paper
+describes; a Nexit agreement is a fixed point by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capacity.loads import link_loads
+from repro.errors import ConfigurationError
+from repro.metrics.mel import max_excess_load
+from repro.routing.costs import PairCostTable
+
+__all__ = ["BestResponseStep", "OscillationResult", "simulate_best_response"]
+
+
+@dataclass(frozen=True)
+class BestResponseStep:
+    """One unilateral reaction.
+
+    Attributes:
+        actor: 0 = ISP A (upstream, controls its exit), 1 = ISP B
+            (downstream, controls entry via MEDs).
+        flow_index: the flow the actor moved.
+        alternative: where it moved the flow.
+        mel_a / mel_b: the resulting per-ISP MELs.
+    """
+
+    actor: int
+    flow_index: int
+    alternative: int
+    mel_a: float
+    mel_b: float
+
+
+@dataclass
+class OscillationResult:
+    """Outcome of a best-response simulation."""
+
+    steps: list[BestResponseStep] = field(default_factory=list)
+    cycled: bool = False
+    stable: bool = False
+    final_choices: np.ndarray | None = None
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+
+def _side_mel(table, choices, side, base, caps) -> float:
+    return max_excess_load(link_loads(table, choices, side) + base, caps)
+
+
+def _best_unilateral_move(
+    table: PairCostTable,
+    choices: np.ndarray,
+    side: str,
+    base: np.ndarray,
+    caps: np.ndarray,
+) -> tuple[int, int] | None:
+    """The move that most reduces this side's MEL, or None if none helps."""
+    current = _side_mel(table, choices, side, base, caps)
+    best: tuple[int, int] | None = None
+    best_mel = current - 1e-12
+    for f in range(table.n_flows):
+        for i in range(table.n_alternatives):
+            if i == choices[f]:
+                continue
+            trial = choices.copy()
+            trial[f] = i
+            mel = _side_mel(table, trial, side, base, caps)
+            if mel < best_mel:
+                best_mel = mel
+                best = (f, i)
+    return best
+
+
+def simulate_best_response(
+    table: PairCostTable,
+    defaults: np.ndarray,
+    caps_a: np.ndarray,
+    caps_b: np.ndarray,
+    base_a: np.ndarray | None = None,
+    base_b: np.ndarray | None = None,
+    max_steps: int = 50,
+) -> OscillationResult:
+    """Alternate unilateral best responses until stable, cycling, or bored.
+
+    Each turn, the acting ISP moves the single flow that most reduces its
+    own MEL (ignoring the other ISP entirely — the selfish, local-view
+    behaviour of Section 2). A revisited (actor, placement) state is an
+    oscillation; a double pass with no profitable move is stability.
+    """
+    if max_steps < 1:
+        raise ConfigurationError("max_steps must be >= 1")
+    n_links_a = table.pair.isp_a.n_links()
+    n_links_b = table.pair.isp_b.n_links()
+    base_a = np.zeros(n_links_a) if base_a is None else np.asarray(base_a, float)
+    base_b = np.zeros(n_links_b) if base_b is None else np.asarray(base_b, float)
+
+    choices = np.asarray(defaults, dtype=np.intp).copy()
+    result = OscillationResult()
+    seen: set[tuple[int, tuple[int, ...]]] = set()
+    actor = 0
+    passes_without_move = 0
+
+    for _ in range(max_steps):
+        state = (actor, tuple(int(c) for c in choices))
+        if state in seen:
+            result.cycled = True
+            break
+        seen.add(state)
+
+        side = "a" if actor == 0 else "b"
+        base = base_a if actor == 0 else base_b
+        caps = caps_a if actor == 0 else caps_b
+        move = _best_unilateral_move(table, choices, side, base, caps)
+        if move is None:
+            passes_without_move += 1
+            if passes_without_move >= 2:
+                result.stable = True
+                break
+        else:
+            passes_without_move = 0
+            flow_index, alternative = move
+            choices[flow_index] = alternative
+            result.steps.append(
+                BestResponseStep(
+                    actor=actor,
+                    flow_index=flow_index,
+                    alternative=alternative,
+                    mel_a=_side_mel(table, choices, "a", base_a, caps_a),
+                    mel_b=_side_mel(table, choices, "b", base_b, caps_b),
+                )
+            )
+        actor = 1 - actor
+
+    result.final_choices = choices
+    return result

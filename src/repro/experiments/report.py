@@ -1,0 +1,48 @@
+"""Paper-style text rendering of experiment results.
+
+The benchmark harness prints, for every figure, the CDF series the figure
+plots plus the headline claims the paper states in prose. Nothing here
+computes — it only formats.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.cdf import Cdf
+
+__all__ = ["format_cdf_block", "format_claims", "format_series_table"]
+
+
+def format_cdf_block(title: str, cdfs: Sequence[Cdf], points: int = 11,
+                     unit: str = "") -> str:
+    """Render one figure panel: a title plus each curve's CDF rows."""
+    lines = [f"== {title} =="]
+    for cdf in cdfs:
+        lines.append(cdf.format_rows(points=points, unit=unit))
+    return "\n".join(lines)
+
+
+def format_series_table(title: str, cdfs: Sequence[Cdf],
+                        points: int = 11) -> str:
+    """Render several curves side by side, one row per cumulative %."""
+    lines = [f"== {title} =="]
+    header = "  cum%   " + "  ".join(f"{c.label:>14s}" for c in cdfs)
+    lines.append(header)
+    if cdfs:
+        qs = [q for q, _ in cdfs[0].series(points)]
+        for q in qs:
+            row = f"  {q:5.1f}  " + "  ".join(
+                f"{c.percentile(q):14.3f}" for c in cdfs
+            )
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def format_claims(title: str, claims: Sequence[tuple[str, str]]) -> str:
+    """Render (claim, measured) rows for the headline-claims check."""
+    lines = [f"-- {title}: paper claim vs measured --"]
+    for claim, measured in claims:
+        lines.append(f"  * {claim}")
+        lines.append(f"      measured: {measured}")
+    return "\n".join(lines)

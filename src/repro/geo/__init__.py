@@ -1,0 +1,22 @@
+"""Geographic substrate: coordinates, great-circle distance, city data."""
+
+from repro.geo.cities import City, CityDatabase, default_city_database
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    great_circle_km,
+    midpoint,
+)
+from repro.geo.population import PopulationModel, city_grid_population
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "GeoPoint",
+    "great_circle_km",
+    "midpoint",
+    "City",
+    "CityDatabase",
+    "default_city_database",
+    "PopulationModel",
+    "city_grid_population",
+]

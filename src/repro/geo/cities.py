@@ -1,0 +1,283 @@
+"""Embedded world-city database.
+
+The paper places ISP PoPs at measured city locations (Rocketfuel) and weighs
+traffic by city population (CIESIN grid). Neither dataset ships with this
+reproduction, so we embed a table of ~170 major cities with approximate
+coordinates and metro populations. Values are approximate by design — the
+experiments depend only on the *skew* of populations and the *geography* of
+city placement, not on exact counts (see DESIGN.md, substitutions table).
+
+Populations are rough mid-2000s metro estimates in thousands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+
+__all__ = ["City", "CityDatabase", "default_city_database", "RAW_CITIES"]
+
+
+@dataclass(frozen=True)
+class City:
+    """A city where an ISP may place a PoP.
+
+    Attributes:
+        name: unique city name (disambiguated with country where needed).
+        country: ISO-ish country label.
+        location: geographic coordinates.
+        population: metro population (absolute persons).
+        region: coarse region tag used by the topology generator to build
+            regional vs. continental vs. global ISP footprints.
+    """
+
+    name: str
+    country: str
+    location: GeoPoint
+    population: float
+    region: str
+
+    def __post_init__(self) -> None:
+        if self.population <= 0:
+            raise ConfigurationError(f"city {self.name} has non-positive population")
+
+
+# name, country, lat, lon, population (thousands), region
+RAW_CITIES: tuple[tuple[str, str, float, float, float, str], ...] = (
+    # --- North America ---
+    ("New York", "US", 40.71, -74.01, 18800, "na-east"),
+    ("Los Angeles", "US", 34.05, -118.24, 12900, "na-west"),
+    ("Chicago", "US", 41.88, -87.63, 9500, "na-central"),
+    ("Dallas", "US", 32.78, -96.80, 6000, "na-central"),
+    ("Houston", "US", 29.76, -95.37, 5300, "na-central"),
+    ("Washington", "US", 38.91, -77.04, 5300, "na-east"),
+    ("Philadelphia", "US", 39.95, -75.17, 5800, "na-east"),
+    ("Atlanta", "US", 33.75, -84.39, 4900, "na-east"),
+    ("Miami", "US", 25.76, -80.19, 5400, "na-east"),
+    ("Boston", "US", 42.36, -71.06, 4400, "na-east"),
+    ("San Francisco", "US", 37.77, -122.42, 4200, "na-west"),
+    ("Phoenix", "US", 33.45, -112.07, 3700, "na-west"),
+    ("Seattle", "US", 47.61, -122.33, 3200, "na-west"),
+    ("Minneapolis", "US", 44.98, -93.27, 3100, "na-central"),
+    ("San Diego", "US", 32.72, -117.16, 2900, "na-west"),
+    ("St Louis", "US", 38.63, -90.20, 2800, "na-central"),
+    ("Denver", "US", 39.74, -104.99, 2300, "na-central"),
+    ("Tampa", "US", 27.95, -82.46, 2400, "na-east"),
+    ("Pittsburgh", "US", 40.44, -79.99, 2400, "na-east"),
+    ("Portland", "US", 45.52, -122.68, 2000, "na-west"),
+    ("Cleveland", "US", 41.50, -81.69, 2100, "na-central"),
+    ("Cincinnati", "US", 39.10, -84.51, 2000, "na-central"),
+    ("Sacramento", "US", 38.58, -121.49, 1900, "na-west"),
+    ("Kansas City", "US", 39.10, -94.58, 1900, "na-central"),
+    ("San Jose", "US", 37.34, -121.89, 1800, "na-west"),
+    ("Las Vegas", "US", 36.17, -115.14, 1600, "na-west"),
+    ("Columbus", "US", 39.96, -83.00, 1600, "na-central"),
+    ("Indianapolis", "US", 39.77, -86.16, 1600, "na-central"),
+    ("Charlotte", "US", 35.23, -80.84, 1500, "na-east"),
+    ("Detroit", "US", 42.33, -83.05, 4400, "na-central"),
+    ("Austin", "US", 30.27, -97.74, 1300, "na-central"),
+    ("Nashville", "US", 36.16, -86.78, 1300, "na-east"),
+    ("Memphis", "US", 35.15, -90.05, 1200, "na-central"),
+    ("Baltimore", "US", 39.29, -76.61, 2600, "na-east"),
+    ("Salt Lake City", "US", 40.76, -111.89, 1000, "na-west"),
+    ("Orlando", "US", 28.54, -81.38, 1800, "na-east"),
+    ("New Orleans", "US", 29.95, -90.07, 1300, "na-central"),
+    ("Raleigh", "US", 35.78, -78.64, 1000, "na-east"),
+    ("Albuquerque", "US", 35.08, -106.65, 800, "na-west"),
+    ("Tucson", "US", 32.22, -110.97, 900, "na-west"),
+    ("Oklahoma City", "US", 35.47, -97.52, 1200, "na-central"),
+    ("Omaha", "US", 41.26, -95.93, 800, "na-central"),
+    ("El Paso", "US", 31.76, -106.49, 700, "na-central"),
+    ("Buffalo", "US", 42.89, -78.88, 1100, "na-east"),
+    ("Richmond", "US", 37.54, -77.44, 1100, "na-east"),
+    ("Jacksonville", "US", 30.33, -81.66, 1200, "na-east"),
+    ("Milwaukee", "US", 43.04, -87.91, 1500, "na-central"),
+    ("Hartford", "US", 41.76, -72.68, 1200, "na-east"),
+    ("Toronto", "CA", 43.65, -79.38, 5100, "na-east"),
+    ("Montreal", "CA", 45.50, -73.57, 3600, "na-east"),
+    ("Vancouver", "CA", 49.28, -123.12, 2100, "na-west"),
+    ("Calgary", "CA", 51.05, -114.07, 1100, "na-west"),
+    ("Ottawa", "CA", 45.42, -75.70, 1100, "na-east"),
+    ("Mexico City", "MX", 19.43, -99.13, 18500, "na-central"),
+    ("Monterrey", "MX", 25.67, -100.31, 3600, "na-central"),
+    ("Guadalajara", "MX", 20.66, -103.35, 3900, "na-central"),
+    # --- Europe ---
+    ("London", "GB", 51.51, -0.13, 12000, "eu-west"),
+    ("Paris", "FR", 48.86, 2.35, 11000, "eu-west"),
+    ("Amsterdam", "NL", 52.37, 4.89, 2400, "eu-west"),
+    ("Frankfurt", "DE", 50.11, 8.68, 2300, "eu-central"),
+    ("Berlin", "DE", 52.52, 13.40, 4300, "eu-central"),
+    ("Munich", "DE", 48.14, 11.58, 2100, "eu-central"),
+    ("Hamburg", "DE", 53.55, 9.99, 2500, "eu-central"),
+    ("Dusseldorf", "DE", 51.23, 6.78, 1500, "eu-central"),
+    ("Madrid", "ES", 40.42, -3.70, 5800, "eu-west"),
+    ("Barcelona", "ES", 41.39, 2.17, 4800, "eu-west"),
+    ("Rome", "IT", 41.90, 12.50, 3700, "eu-south"),
+    ("Milan", "IT", 45.46, 9.19, 4000, "eu-south"),
+    ("Brussels", "BE", 50.85, 4.35, 1800, "eu-west"),
+    ("Vienna", "AT", 48.21, 16.37, 2200, "eu-central"),
+    ("Zurich", "CH", 47.38, 8.54, 1300, "eu-central"),
+    ("Geneva", "CH", 46.20, 6.14, 900, "eu-central"),
+    ("Stockholm", "SE", 59.33, 18.06, 1900, "eu-north"),
+    ("Copenhagen", "DK", 55.68, 12.57, 1900, "eu-north"),
+    ("Oslo", "NO", 59.91, 10.75, 1100, "eu-north"),
+    ("Helsinki", "FI", 60.17, 24.94, 1200, "eu-north"),
+    ("Dublin", "IE", 53.35, -6.26, 1600, "eu-west"),
+    ("Manchester", "GB", 53.48, -2.24, 2600, "eu-west"),
+    ("Birmingham", "GB", 52.49, -1.90, 2500, "eu-west"),
+    ("Glasgow", "GB", 55.86, -4.25, 1700, "eu-west"),
+    ("Lisbon", "PT", 38.72, -9.14, 2700, "eu-west"),
+    ("Warsaw", "PL", 52.23, 21.01, 2900, "eu-east"),
+    ("Prague", "CZ", 50.08, 14.44, 1900, "eu-east"),
+    ("Budapest", "HU", 47.50, 19.04, 2500, "eu-east"),
+    ("Athens", "GR", 37.98, 23.73, 3500, "eu-south"),
+    ("Lyon", "FR", 45.76, 4.84, 1600, "eu-west"),
+    ("Marseille", "FR", 43.30, 5.37, 1500, "eu-west"),
+    ("Turin", "IT", 45.07, 7.69, 1700, "eu-south"),
+    ("Rotterdam", "NL", 51.92, 4.48, 1000, "eu-west"),
+    ("Stuttgart", "DE", 48.78, 9.18, 1900, "eu-central"),
+    ("Moscow", "RU", 55.76, 37.62, 10500, "eu-east"),
+    ("St Petersburg", "RU", 59.93, 30.34, 4700, "eu-east"),
+    ("Kiev", "UA", 50.45, 30.52, 2600, "eu-east"),
+    ("Bucharest", "RO", 44.43, 26.10, 1900, "eu-east"),
+    ("Istanbul", "TR", 41.01, 28.98, 9000, "eu-south"),
+    # --- Asia-Pacific ---
+    ("Tokyo", "JP", 35.68, 139.65, 34500, "apac"),
+    ("Osaka", "JP", 34.69, 135.50, 17000, "apac"),
+    ("Nagoya", "JP", 35.18, 136.91, 8700, "apac"),
+    ("Seoul", "KR", 37.57, 126.98, 22000, "apac"),
+    ("Busan", "KR", 35.18, 129.08, 3600, "apac"),
+    ("Beijing", "CN", 39.90, 116.41, 11000, "apac"),
+    ("Shanghai", "CN", 31.23, 121.47, 14500, "apac"),
+    ("Guangzhou", "CN", 23.13, 113.26, 8500, "apac"),
+    ("Shenzhen", "CN", 22.54, 114.06, 7200, "apac"),
+    ("Hong Kong", "HK", 22.32, 114.17, 7000, "apac"),
+    ("Taipei", "TW", 25.03, 121.57, 6500, "apac"),
+    ("Singapore", "SG", 1.35, 103.82, 4300, "apac"),
+    ("Bangkok", "TH", 13.76, 100.50, 6700, "apac"),
+    ("Kuala Lumpur", "MY", 3.14, 101.69, 4400, "apac"),
+    ("Jakarta", "ID", -6.21, 106.85, 13200, "apac"),
+    ("Manila", "PH", 14.60, 120.98, 10700, "apac"),
+    ("Mumbai", "IN", 19.08, 72.88, 18300, "apac"),
+    ("Delhi", "IN", 28.70, 77.10, 15000, "apac"),
+    ("Bangalore", "IN", 12.97, 77.59, 6100, "apac"),
+    ("Chennai", "IN", 13.08, 80.27, 6900, "apac"),
+    ("Hyderabad", "IN", 17.39, 78.49, 5600, "apac"),
+    ("Sydney", "AU", -33.87, 151.21, 4300, "apac"),
+    ("Melbourne", "AU", -37.81, 144.96, 3700, "apac"),
+    ("Brisbane", "AU", -27.47, 153.03, 1800, "apac"),
+    ("Perth", "AU", -31.95, 115.86, 1500, "apac"),
+    ("Auckland", "NZ", -36.85, 174.76, 1300, "apac"),
+    # --- South America / Africa / Middle East ---
+    ("Sao Paulo", "BR", -23.55, -46.63, 17900, "sa"),
+    ("Rio de Janeiro", "BR", -22.91, -43.17, 11200, "sa"),
+    ("Buenos Aires", "AR", -34.60, -58.38, 13000, "sa"),
+    ("Santiago", "CL", -33.45, -70.67, 5600, "sa"),
+    ("Lima", "PE", -12.05, -77.04, 7800, "sa"),
+    ("Bogota", "CO", 4.71, -74.07, 7300, "sa"),
+    ("Caracas", "VE", 10.48, -66.90, 3200, "sa"),
+    ("Johannesburg", "ZA", -26.20, 28.05, 3300, "africa"),
+    ("Cape Town", "ZA", -33.92, 18.42, 3100, "africa"),
+    ("Cairo", "EG", 30.04, 31.24, 11100, "africa"),
+    ("Lagos", "NG", 6.52, 3.38, 8800, "africa"),
+    ("Nairobi", "KE", -1.29, 36.82, 2800, "africa"),
+    ("Tel Aviv", "IL", 32.09, 34.78, 3000, "me"),
+    ("Dubai", "AE", 25.20, 55.27, 1300, "me"),
+    ("Riyadh", "SA", 24.71, 46.68, 4200, "me"),
+)
+
+
+class CityDatabase:
+    """Indexed collection of :class:`City` records.
+
+    Supports lookup by name, filtering by region, and population-weighted
+    sampling (the heavy-tailed weighting that the gravity traffic model and
+    the topology generator both rely on).
+    """
+
+    def __init__(self, cities: Sequence[City]):
+        if not cities:
+            raise ConfigurationError("city database cannot be empty")
+        self._cities: tuple[City, ...] = tuple(cities)
+        self._by_name: dict[str, City] = {}
+        for city in self._cities:
+            if city.name in self._by_name:
+                raise ConfigurationError(f"duplicate city name: {city.name}")
+            self._by_name[city.name] = city
+
+    def __len__(self) -> int:
+        return len(self._cities)
+
+    def __iter__(self) -> Iterator[City]:
+        return iter(self._cities)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def cities(self) -> tuple[City, ...]:
+        return self._cities
+
+    def get(self, name: str) -> City:
+        """Return the city named ``name`` or raise ``ConfigurationError``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown city: {name!r}") from None
+
+    def regions(self) -> tuple[str, ...]:
+        """Sorted tuple of distinct region tags."""
+        return tuple(sorted({c.region for c in self._cities}))
+
+    def in_regions(self, regions: Sequence[str]) -> "CityDatabase":
+        """Sub-database restricted to the given region tags."""
+        wanted = set(regions)
+        unknown = wanted - set(self.regions())
+        if unknown:
+            raise ConfigurationError(f"unknown regions: {sorted(unknown)}")
+        subset = [c for c in self._cities if c.region in wanted]
+        return CityDatabase(subset)
+
+    def total_population(self) -> float:
+        return sum(c.population for c in self._cities)
+
+    def sample(self, rng, count: int, population_weighted: bool = True) -> list[City]:
+        """Sample ``count`` distinct cities, optionally population-weighted.
+
+        Population weighting makes big cities (New York, Tokyo, London)
+        appear in most ISP footprints, which is what creates shared cities —
+        and therefore interconnections — between independently generated
+        ISPs, exactly as in the measured Rocketfuel dataset.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if count > len(self._cities):
+            raise ConfigurationError(
+                f"cannot sample {count} distinct cities from {len(self._cities)}"
+            )
+        if population_weighted:
+            weights = [c.population for c in self._cities]
+            total = sum(weights)
+            probs = [w / total for w in weights]
+            idx = rng.choice(len(self._cities), size=count, replace=False, p=probs)
+        else:
+            idx = rng.choice(len(self._cities), size=count, replace=False)
+        return [self._cities[int(i)] for i in idx]
+
+
+def default_city_database() -> CityDatabase:
+    """Build the embedded default world-city database."""
+    cities = [
+        City(
+            name=name,
+            country=country,
+            location=GeoPoint(lat=lat, lon=lon),
+            population=pop_thousands * 1000.0,
+            region=region,
+        )
+        for name, country, lat, lon, pop_thousands, region in RAW_CITIES
+    ]
+    return CityDatabase(cities)

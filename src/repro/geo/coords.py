@@ -1,0 +1,78 @@
+"""Geographic coordinates and great-circle distances.
+
+The paper estimates intra-ISP link lengths "using the geographical distance
+between its endpoints" (Section 5.1, citing Padmanabhan & Subramanian). This
+module provides that primitive: a :class:`GeoPoint` and the haversine
+great-circle distance in kilometres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EARTH_RADIUS_KM", "GeoPoint", "great_circle_km", "midpoint"]
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, order=True)
+class GeoPoint:
+    """A point on the Earth's surface in decimal degrees.
+
+    Attributes:
+        lat: latitude in [-90, 90].
+        lon: longitude in [-180, 180].
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ConfigurationError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ConfigurationError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return great_circle_km(self, other)
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Haversine great-circle distance between two points, in km.
+
+    Symmetric, non-negative, zero iff the points coincide, and satisfies the
+    triangle inequality (it is a metric on the sphere).
+    """
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    # Clamp for floating point safety before asin.
+    h = min(1.0, max(0.0, h))
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def midpoint(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+    """Geographic midpoint of two points along the great circle."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    bx = math.cos(lat2) * math.cos(lon2 - lon1)
+    by = math.cos(lat2) * math.sin(lon2 - lon1)
+    lat3 = math.atan2(
+        math.sin(lat1) + math.sin(lat2),
+        math.sqrt((math.cos(lat1) + bx) ** 2 + by**2),
+    )
+    lon3 = lon1 + math.atan2(by, math.cos(lat1) + bx)
+    # Normalize longitude back into [-180, 180].
+    lon_deg = math.degrees(lon3)
+    while lon_deg > 180.0:
+        lon_deg -= 360.0
+    while lon_deg < -180.0:
+        lon_deg += 360.0
+    return GeoPoint(lat=math.degrees(lat3), lon=lon_deg)

@@ -1,0 +1,21 @@
+"""Routing-quality metrics: distance, maximum excess load, link cost."""
+
+from repro.metrics.distance import (
+    per_flow_km,
+    per_isp_km,
+    percent_gain,
+    total_km,
+)
+from repro.metrics.fortz import fortz_thorup_cost, piecewise_link_cost
+from repro.metrics.mel import max_excess_load, mel_for_placement
+
+__all__ = [
+    "total_km",
+    "per_isp_km",
+    "per_flow_km",
+    "percent_gain",
+    "max_excess_load",
+    "mel_for_placement",
+    "fortz_thorup_cost",
+    "piecewise_link_cost",
+]

@@ -1,0 +1,75 @@
+"""The distance (resource-consumption) metric of Section 5.1.
+
+"We assess the quality of steady-state routing using a metric that reflects
+the total resource consumption in the network. This is the sum of path
+lengths of all flows." Path length is geographic: the sum of the lengths of
+the constituent links of the routed path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.routing.costs import PairCostTable
+
+__all__ = ["per_flow_km", "total_km", "per_isp_km", "percent_gain"]
+
+
+def _choice_values(matrix: np.ndarray, choices: np.ndarray) -> np.ndarray:
+    choices = np.asarray(choices, dtype=np.intp)
+    if choices.shape != (matrix.shape[0],):
+        raise ConfigurationError(
+            f"choices shape {choices.shape} does not match flows {matrix.shape[0]}"
+        )
+    return matrix[np.arange(matrix.shape[0]), choices]
+
+
+def per_flow_km(table: PairCostTable, choices: np.ndarray) -> np.ndarray:
+    """End-to-end path length of each flow under ``choices``, (F,)."""
+    return _choice_values(table.total_km(), choices)
+
+
+def total_km(table: PairCostTable, choices: np.ndarray,
+             weight_by_size: bool = False) -> float:
+    """Sum of path lengths of all flows (the paper's aggregate metric).
+
+    ``weight_by_size`` optionally weighs each flow by its traffic volume
+    (an extension; the paper's metric treats flows equally and notes flow
+    sizes as a factor it does not capture).
+    """
+    lengths = per_flow_km(table, choices)
+    if weight_by_size:
+        lengths = lengths * table.flowset.sizes()
+    return float(lengths.sum())
+
+
+def per_isp_km(
+    table: PairCostTable, choices: np.ndarray, weight_by_size: bool = False
+) -> tuple[float, float]:
+    """Distance carried inside each ISP: ``(km_in_a, km_in_b)``.
+
+    This is the per-ISP objective: each ISP cares about the distance flows
+    travel inside *its* network.
+    """
+    up = _choice_values(table.up_km, choices)
+    down = _choice_values(table.down_km, choices)
+    if weight_by_size:
+        sizes = table.flowset.sizes()
+        up = up * sizes
+        down = down * sizes
+    return float(up.sum()), float(down.sum())
+
+
+def percent_gain(default_value: float, new_value: float) -> float:
+    """Percentage reduction of ``new_value`` relative to ``default_value``.
+
+    Positive = improvement. When the default is 0 (e.g. an ISP that carries
+    every flow zero kilometres), the gain is defined as 0 — there is
+    nothing to improve, and the paper's ratio would be undefined.
+    """
+    if default_value < 0 or new_value < 0:
+        raise ConfigurationError("metric values must be non-negative")
+    if default_value == 0.0:
+        return 0.0
+    return 100.0 * (default_value - new_value) / default_value

@@ -1,0 +1,57 @@
+"""Fortz–Thorup piecewise-linear link cost.
+
+The paper's alternate bandwidth metric: "a metric based on a linear
+programming formulation of optimal routing [Fortz & Thorup]. This metric
+minimizes the sum of link costs, where the cost is a piecewise linear
+function of load with increasing slope." We use the standard
+Fortz–Thorup breakpoints and slopes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError
+
+__all__ = ["piecewise_link_cost", "fortz_thorup_cost", "BREAKPOINTS", "SLOPES"]
+
+#: Utilization breakpoints of the standard Fortz–Thorup cost.
+BREAKPOINTS: tuple[float, ...] = (0.0, 1 / 3, 2 / 3, 9 / 10, 1.0, 11 / 10)
+
+#: Slopes of each segment (the last applies beyond the final breakpoint).
+SLOPES: tuple[float, ...] = (1.0, 3.0, 10.0, 70.0, 500.0, 5000.0)
+
+
+def piecewise_link_cost(load: float, capacity: float) -> float:
+    """Fortz–Thorup cost of one link at the given load.
+
+    Piecewise linear and convex in the utilization ``load/capacity``,
+    continuous across breakpoints, with slope 1 near zero load and slope
+    5000 beyond 110% utilization.
+    """
+    if capacity <= 0:
+        raise CapacityError(f"capacity must be > 0, got {capacity}")
+    if load < 0:
+        raise CapacityError(f"load must be >= 0, got {load}")
+    utilization = load / capacity
+    cost = 0.0
+    for seg in range(len(SLOPES)):
+        seg_start = BREAKPOINTS[seg]
+        seg_end = BREAKPOINTS[seg + 1] if seg + 1 < len(BREAKPOINTS) else np.inf
+        if utilization <= seg_start:
+            break
+        span = min(utilization, seg_end) - seg_start
+        cost += SLOPES[seg] * span
+    # Scale by capacity so that cost is in load units, the standard form.
+    return cost * capacity
+
+
+def fortz_thorup_cost(loads: np.ndarray, capacities: np.ndarray) -> float:
+    """Network-wide cost: sum of per-link piecewise costs."""
+    loads = np.asarray(loads, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if loads.shape != capacities.shape:
+        raise CapacityError("loads and capacities must have the same shape")
+    return float(
+        sum(piecewise_link_cost(l, c) for l, c in zip(loads, capacities))
+    )

@@ -1,0 +1,58 @@
+"""Maximum excess load (MEL), the bandwidth metric of Section 5.2.
+
+"We measure the quality of routing using maximum excess load or MEL, which
+is the maximum ratio of load after and before the failure on any link in the
+topology." The denominator is the provisioned capacity proxy (capacity is
+proportional to pre-failure load, with backup links filled in at the median
+— see :mod:`repro.capacity.provisioning`), so MEL is the worst-case
+utilization increase a link suffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.capacity.loads import link_loads
+from repro.routing.costs import PairCostTable
+
+__all__ = ["max_excess_load", "mel_for_placement"]
+
+
+def max_excess_load(loads_after: np.ndarray, capacities: np.ndarray) -> float:
+    """Max over links of load_after / capacity."""
+    loads_after = np.asarray(loads_after, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if loads_after.shape != capacities.shape:
+        raise CapacityError(
+            f"shape mismatch: loads {loads_after.shape} vs caps {capacities.shape}"
+        )
+    if loads_after.size == 0:
+        return 0.0
+    if np.any(capacities <= 0):
+        raise CapacityError("capacities must be positive")
+    if np.any(loads_after < 0):
+        raise CapacityError("loads must be non-negative")
+    return float((loads_after / capacities).max())
+
+
+def mel_for_placement(
+    table: PairCostTable,
+    choices: np.ndarray,
+    side: str,
+    capacities: np.ndarray,
+    base_loads: np.ndarray | None = None,
+    active: np.ndarray | None = None,
+) -> float:
+    """MEL in one ISP for a full flow placement.
+
+    ``base_loads`` carries traffic outside the negotiated set (background
+    flows); ``active`` masks which table flows are placed.
+    """
+    loads = link_loads(table, choices, side, active=active)
+    if base_loads is not None:
+        base_loads = np.asarray(base_loads, dtype=float)
+        if base_loads.shape != loads.shape:
+            raise CapacityError("base_loads shape mismatch")
+        loads = loads + base_loads
+    return max_excess_load(loads, capacities)

@@ -1,0 +1,200 @@
+"""The globally optimal bandwidth router: a fractional min-max-load LP.
+
+Section 5.2: "The globally optimal is computed by solving an optimization
+problem that minimizes the maximum increase in link load. For computational
+tractability, we allow flows to be fractionally divided among
+interconnections; thus, the quality of this routing is an upper bound on the
+global optimal without fractional routing."
+
+Formulation (variables x[f, i] >= 0, t >= 0):
+
+    minimize t
+    s.t.  sum_i x[f, i] = 1                          for every flow f
+          base_l + sum_{f,i: l in path(f,i)} s_f x[f,i] <= t * cap_l
+                                                     for every link l
+                                                     (in both ISPs)
+
+where s_f is the flow size, base_l the background load (traffic outside the
+negotiated set) and cap_l the provisioned capacity. The optimum t* is the
+best achievable joint MEL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
+
+from repro.errors import OptimizationError
+from repro.routing.costs import PairCostTable
+
+__all__ = ["LpRoutingResult", "solve_min_max_load_lp", "fractional_loads"]
+
+
+@dataclass(frozen=True)
+class LpRoutingResult:
+    """Solution of a fractional routing LP.
+
+    Attributes:
+        t: the optimal objective (the minimized maximum load ratio).
+        fractions: (F, I) array; ``fractions[f, i]`` is the share of flow
+            ``f`` routed via interconnection ``i`` (rows sum to 1).
+    """
+
+    t: float
+    fractions: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise OptimizationError(f"LP objective must be >= 0, got {self.t}")
+
+
+def _link_constraint_rows(
+    table: PairCostTable,
+    side: str,
+    caps: np.ndarray,
+    base: np.ndarray,
+    row_offset: int,
+    t_col: int,
+) -> tuple[list[int], list[int], list[float], np.ndarray]:
+    """COO triplets and RHS for one ISP side's link constraints."""
+    n_links = caps.shape[0]
+    link_table = table.up_links if side == "a" else table.down_links
+    sizes = table.flowset.sizes()
+    n_i = table.n_alternatives
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for f in range(table.n_flows):
+        for i in range(n_i):
+            col = f * n_i + i
+            for li in link_table[f][i]:
+                rows.append(row_offset + int(li))
+                cols.append(col)
+                vals.append(float(sizes[f]))
+    # -t * cap_l on the left-hand side.
+    for li in range(n_links):
+        rows.append(row_offset + li)
+        cols.append(t_col)
+        vals.append(-float(caps[li]))
+    rhs = -np.asarray(base, dtype=float)
+    return rows, cols, vals, rhs
+
+
+def solve_min_max_load_lp(
+    table: PairCostTable,
+    caps_a: np.ndarray,
+    caps_b: np.ndarray,
+    base_a: np.ndarray | None = None,
+    base_b: np.ndarray | None = None,
+    sides: tuple[str, ...] = ("a", "b"),
+) -> LpRoutingResult:
+    """Solve the fractional min-max-load LP over the given sides.
+
+    ``sides=("a",)`` restricts the objective to upstream links only — the
+    upstream-unilateral optimization of Figure 8. Both capacity arrays must
+    always be supplied (shapes are validated against the pair).
+    """
+    n_f, n_i = table.n_flows, table.n_alternatives
+    if n_f == 0:
+        return LpRoutingResult(t=0.0, fractions=np.zeros((0, n_i)))
+    caps_a = np.asarray(caps_a, dtype=float)
+    caps_b = np.asarray(caps_b, dtype=float)
+    n_links_a = table.pair.isp_a.n_links()
+    n_links_b = table.pair.isp_b.n_links()
+    if caps_a.shape != (n_links_a,):
+        raise OptimizationError(f"caps_a must have shape ({n_links_a},)")
+    if caps_b.shape != (n_links_b,):
+        raise OptimizationError(f"caps_b must have shape ({n_links_b},)")
+    if np.any(caps_a <= 0) or np.any(caps_b <= 0):
+        raise OptimizationError("capacities must be positive")
+    base_a = np.zeros(n_links_a) if base_a is None else np.asarray(base_a, float)
+    base_b = np.zeros(n_links_b) if base_b is None else np.asarray(base_b, float)
+    for name, side_sel in (("a", base_a), ("b", base_b)):
+        if np.any(side_sel < 0):
+            raise OptimizationError(f"base loads ({name}) must be non-negative")
+
+    n_x = n_f * n_i
+    t_col = n_x
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    rhs_parts: list[np.ndarray] = []
+    offset = 0
+    for side in sides:
+        caps = caps_a if side == "a" else caps_b
+        base = base_a if side == "a" else base_b
+        r, c, v, rhs = _link_constraint_rows(table, side, caps, base, offset, t_col)
+        rows.extend(r)
+        cols.extend(c)
+        vals.extend(v)
+        rhs_parts.append(rhs)
+        offset += caps.shape[0]
+    a_ub = coo_matrix(
+        (vals, (rows, cols)), shape=(offset, n_x + 1)
+    ).tocsr()
+    b_ub = np.concatenate(rhs_parts) if rhs_parts else np.zeros(0)
+
+    # sum_i x[f, i] = 1 for every flow.
+    eq_rows = np.repeat(np.arange(n_f), n_i)
+    eq_cols = np.arange(n_x)
+    a_eq = coo_matrix(
+        (np.ones(n_x), (eq_rows, eq_cols)), shape=(n_f, n_x + 1)
+    ).tocsr()
+    b_eq = np.ones(n_f)
+
+    c = np.zeros(n_x + 1)
+    c[t_col] = 1.0
+    bounds = [(0.0, 1.0)] * n_x + [(0.0, None)]
+
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise OptimizationError(f"min-max-load LP failed: {result.message}")
+    fractions = np.asarray(result.x[:n_x]).reshape(n_f, n_i)
+    # Clean tiny numerical negatives and renormalize rows.
+    fractions = np.clip(fractions, 0.0, None)
+    row_sums = fractions.sum(axis=1, keepdims=True)
+    fractions = np.where(row_sums > 0, fractions / row_sums, 1.0 / n_i)
+    return LpRoutingResult(t=float(result.x[t_col]), fractions=fractions)
+
+
+def fractional_loads(
+    table: PairCostTable,
+    fractions: np.ndarray,
+    side: str,
+    base: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-link loads in one ISP under a fractional placement."""
+    fractions = np.asarray(fractions, dtype=float)
+    if fractions.shape != (table.n_flows, table.n_alternatives):
+        raise OptimizationError(
+            f"fractions must have shape ({table.n_flows}, {table.n_alternatives})"
+        )
+    if side == "a":
+        n_links = table.pair.isp_a.n_links()
+        link_table = table.up_links
+    elif side == "b":
+        n_links = table.pair.isp_b.n_links()
+        link_table = table.down_links
+    else:
+        raise OptimizationError(f"side must be 'a' or 'b', got {side!r}")
+    sizes = table.flowset.sizes()
+    loads = np.zeros(n_links) if base is None else np.asarray(base, float).copy()
+    for f in range(table.n_flows):
+        for i in range(table.n_alternatives):
+            share = fractions[f, i]
+            if share <= 0:
+                continue
+            for li in link_table[f][i]:
+                loads[li] += sizes[f] * share
+    return loads

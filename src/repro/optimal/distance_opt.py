@@ -1,0 +1,26 @@
+"""Globally optimal routing for the distance metric.
+
+Section 5.1: "The globally optimal routing uses the interconnection that
+minimizes the total distance for each flow." Because the distance metric is
+separable per flow, the global optimum decomposes into per-flow argmins over
+the end-to-end path length — no joint optimization needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.costs import PairCostTable
+from repro.routing.exits import optimal_exit_choices
+
+__all__ = ["optimal_distance_choices"]
+
+
+def optimal_distance_choices(table: PairCostTable) -> np.ndarray:
+    """Interconnection per flow minimizing total geographic distance, (F,).
+
+    A thin alias of :func:`~repro.routing.exits.optimal_exit_choices`,
+    re-exported here so the three comparators (default / negotiated /
+    optimal) all live at the same API altitude.
+    """
+    return optimal_exit_choices(table)

@@ -1,0 +1,30 @@
+"""Routing substrate: intradomain paths, flows, alternatives, exit policies."""
+
+from repro.routing.bgp import (
+    BgpSpeaker,
+    RouteAdvertisement,
+    decide_best_route,
+)
+from repro.routing.costs import PairCostTable, build_pair_cost_table
+from repro.routing.exits import (
+    early_exit_choices,
+    late_exit_choices,
+    optimal_exit_choices,
+)
+from repro.routing.flows import Flow, FlowSet, build_full_flowset
+from repro.routing.paths import IntradomainRouting
+
+__all__ = [
+    "IntradomainRouting",
+    "Flow",
+    "FlowSet",
+    "build_full_flowset",
+    "PairCostTable",
+    "build_pair_cost_table",
+    "early_exit_choices",
+    "late_exit_choices",
+    "optimal_exit_choices",
+    "BgpSpeaker",
+    "RouteAdvertisement",
+    "decide_best_route",
+]

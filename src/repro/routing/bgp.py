@@ -1,0 +1,153 @@
+"""A simplified BGP decision process.
+
+The paper's Section 2 grounds the problem in BGP's mechanisms: local
+preference, AS-path length (and prepending), multi-exit discriminators
+(MEDs), and hot-potato IGP tie-breaking. This module implements that
+decision process so the examples can *show* early-exit and late-exit
+emerging from BGP semantics, and so the deployment layer (Section 6) has a
+concrete route-selection substrate to configure.
+
+The model is deliberately scoped to what the paper uses: route selection
+among advertisements for one prefix at one router, not a full RIB/update
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import RoutingError
+
+__all__ = ["RouteAdvertisement", "decide_best_route", "BgpSpeaker"]
+
+
+@dataclass(frozen=True)
+class RouteAdvertisement:
+    """One BGP route for a prefix, as seen at a deciding router.
+
+    Attributes:
+        prefix: destination prefix (opaque string, e.g. "10.1.0.0/16").
+        neighbor_as: the AS that advertised the route.
+        as_path: full AS path, including prepending repeats.
+        interconnection: index of the peering link the route arrived on.
+        med: multi-exit discriminator set by the neighbor (lower preferred,
+            compared only among routes from the same neighbor AS).
+        local_pref: local preference assigned by import policy.
+        igp_distance: IGP (intradomain) distance from the deciding router to
+            the exit — the hot-potato tie-breaker.
+    """
+
+    prefix: str
+    neighbor_as: str
+    as_path: tuple[str, ...]
+    interconnection: int
+    med: int = 0
+    local_pref: int = 100
+    igp_distance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.prefix:
+            raise RoutingError("advertisement must carry a prefix")
+        if not self.as_path:
+            raise RoutingError("advertisement must carry a non-empty AS path")
+        if self.as_path[0] != self.neighbor_as:
+            raise RoutingError(
+                "first AS-path element must be the advertising neighbor"
+            )
+
+    def prepended(self, times: int) -> "RouteAdvertisement":
+        """The same route with the neighbor AS prepended ``times`` more."""
+        if times < 0:
+            raise RoutingError("prepend count must be >= 0")
+        return RouteAdvertisement(
+            prefix=self.prefix,
+            neighbor_as=self.neighbor_as,
+            as_path=(self.neighbor_as,) * times + self.as_path,
+            interconnection=self.interconnection,
+            med=self.med,
+            local_pref=self.local_pref,
+            igp_distance=self.igp_distance,
+        )
+
+
+def decide_best_route(
+    routes: Sequence[RouteAdvertisement],
+    honor_med: bool = True,
+) -> RouteAdvertisement:
+    """Run the BGP decision process over routes for a single prefix.
+
+    Order of comparison (the standard subset the paper relies on):
+
+    1. highest ``local_pref``;
+    2. shortest ``as_path``;
+    3. lowest ``med`` — only among routes from the same neighbor AS, and
+       only when ``honor_med`` (MED honoring is contractual);
+    4. lowest ``igp_distance`` (hot potato / early exit);
+    5. lowest interconnection index (router-id stand-in, determinism).
+    """
+    if not routes:
+        raise RoutingError("cannot decide among zero routes")
+    prefixes = {r.prefix for r in routes}
+    if len(prefixes) != 1:
+        raise RoutingError(f"routes are for different prefixes: {sorted(prefixes)}")
+
+    candidates = list(routes)
+
+    best_lp = max(r.local_pref for r in candidates)
+    candidates = [r for r in candidates if r.local_pref == best_lp]
+
+    shortest = min(len(r.as_path) for r in candidates)
+    candidates = [r for r in candidates if len(r.as_path) == shortest]
+
+    if honor_med:
+        # MED compares only among routes learned from the same neighbor AS.
+        by_neighbor: dict[str, list[RouteAdvertisement]] = {}
+        for r in candidates:
+            by_neighbor.setdefault(r.neighbor_as, []).append(r)
+        filtered: list[RouteAdvertisement] = []
+        for group in by_neighbor.values():
+            best_med = min(r.med for r in group)
+            filtered.extend(r for r in group if r.med == best_med)
+        candidates = filtered
+
+    best_igp = min(r.igp_distance for r in candidates)
+    candidates = [r for r in candidates if r.igp_distance == best_igp]
+
+    return min(candidates, key=lambda r: r.interconnection)
+
+
+@dataclass
+class BgpSpeaker:
+    """Route selection state for one AS deciding over many prefixes.
+
+    A thin convenience wrapper: collect advertisements, then ask for the
+    best route per prefix. Used by the examples to demonstrate that
+    early-exit falls out of hot-potato tie-breaking and late-exit falls out
+    of honoring MEDs.
+    """
+
+    asn: str
+    honor_med: bool = True
+    _rib: dict[str, list[RouteAdvertisement]] = field(default_factory=dict)
+
+    def receive(self, route: RouteAdvertisement) -> None:
+        if self.asn in route.as_path:
+            # Loop prevention: a route that already contains us is dropped.
+            return
+        self._rib.setdefault(route.prefix, []).append(route)
+
+    def receive_all(self, routes: Iterable[RouteAdvertisement]) -> None:
+        for route in routes:
+            self.receive(route)
+
+    def known_prefixes(self) -> list[str]:
+        return sorted(self._rib)
+
+    def best_route(self, prefix: str) -> RouteAdvertisement:
+        if prefix not in self._rib or not self._rib[prefix]:
+            raise RoutingError(f"AS {self.asn}: no routes for prefix {prefix!r}")
+        return decide_best_route(self._rib[prefix], honor_med=self.honor_med)
+
+    def best_routes(self) -> dict[str, RouteAdvertisement]:
+        return {prefix: self.best_route(prefix) for prefix in self.known_prefixes()}

@@ -1,0 +1,153 @@
+"""Per-(flow, interconnection) cost tables.
+
+Everything downstream of routing — exit policies, the negotiation engine,
+the globally optimal router, baselines, load models — consumes the same
+precomputed tables: for each flow ``f`` and each interconnection ``i``,
+
+* ``up_weight[f, i]`` / ``down_weight[f, i]``: routing (weight) distance of
+  the intra-ISP segment, used for early-/late-exit decisions;
+* ``up_km[f, i]`` / ``down_km[f, i]``: geographic length of the segment,
+  the Section 5.1 resource metric;
+* ``up_links[f][i]`` / ``down_links[f][i]``: link indices traversed, used
+  by the bandwidth/load machinery.
+
+Building the table costs one Dijkstra per interconnection per side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.flows import FlowSet
+from repro.routing.paths import IntradomainRouting
+from repro.topology.interconnect import IspPair
+
+__all__ = ["PairCostTable", "build_pair_cost_table"]
+
+
+@dataclass(frozen=True)
+class PairCostTable:
+    """Precomputed alternative costs for one (pair, direction).
+
+    Shapes: all arrays are (F, I) with F flows and I interconnections.
+    ``up_links[f][i]`` is a small int array of upstream link indices;
+    ``down_links[f][i]`` likewise for the downstream ISP.
+    """
+
+    pair: IspPair
+    flowset: FlowSet
+    up_weight: np.ndarray
+    down_weight: np.ndarray
+    up_km: np.ndarray
+    down_km: np.ndarray
+    ic_km: np.ndarray  # (I,) geographic length of each peering link
+    up_links: tuple[tuple[np.ndarray, ...], ...]
+    down_links: tuple[tuple[np.ndarray, ...], ...]
+
+    # -- shape helpers -----------------------------------------------------
+
+    @property
+    def n_flows(self) -> int:
+        return self.up_weight.shape[0]
+
+    @property
+    def n_alternatives(self) -> int:
+        return self.up_weight.shape[1]
+
+    def total_km(self) -> np.ndarray:
+        """End-to-end geographic cost per alternative: up + peering + down."""
+        return self.up_km + self.ic_km[np.newaxis, :] + self.down_km
+
+    def subset(self, indices: np.ndarray) -> "PairCostTable":
+        """A reindexed table containing only the given flow rows.
+
+        Used by the bandwidth experiment to negotiate over just the flows
+        affected by a failure without recomputing any shortest paths.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        sub_flowset = self.flowset.subset([int(i) for i in indices])
+        return PairCostTable(
+            pair=self.pair,
+            flowset=sub_flowset,
+            up_weight=self.up_weight[indices].copy(),
+            down_weight=self.down_weight[indices].copy(),
+            up_km=self.up_km[indices].copy(),
+            down_km=self.down_km[indices].copy(),
+            ic_km=self.ic_km.copy(),
+            up_links=tuple(self.up_links[int(i)] for i in indices),
+            down_links=tuple(self.down_links[int(i)] for i in indices),
+        )
+
+    def validate(self) -> None:
+        f, i = self.up_weight.shape
+        for name in ("down_weight", "up_km", "down_km"):
+            arr = getattr(self, name)
+            if arr.shape != (f, i):
+                raise RoutingError(f"cost table field {name} has shape {arr.shape}")
+        if self.ic_km.shape != (i,):
+            raise RoutingError("ic_km has wrong shape")
+        if len(self.up_links) != f or len(self.down_links) != f:
+            raise RoutingError("link tables have wrong flow dimension")
+
+
+def build_pair_cost_table(
+    pair: IspPair,
+    flowset: FlowSet,
+    routing_a: IntradomainRouting | None = None,
+    routing_b: IntradomainRouting | None = None,
+) -> PairCostTable:
+    """Build the cost table for ``flowset`` over ``pair`` (direction A->B).
+
+    ``routing_a`` / ``routing_b`` may be passed in to share Dijkstra caches
+    across multiple tables over the same ISPs (e.g. both directions, or
+    several failure scenarios).
+    """
+    if flowset.pair is not pair and flowset.pair.name != pair.name:
+        raise RoutingError("flowset was built for a different pair")
+    routing_a = routing_a or IntradomainRouting(pair.isp_a)
+    routing_b = routing_b or IntradomainRouting(pair.isp_b)
+
+    ics = pair.interconnections
+    n_f, n_i = len(flowset), len(ics)
+    up_weight = np.zeros((n_f, n_i))
+    down_weight = np.zeros((n_f, n_i))
+    up_km = np.zeros((n_f, n_i))
+    down_km = np.zeros((n_f, n_i))
+    ic_km = np.asarray([ic.length_km for ic in ics], dtype=float)
+    up_links: list[tuple[np.ndarray, ...]] = []
+    down_links: list[tuple[np.ndarray, ...]] = []
+
+    # Warm the SSSP caches from the interconnection PoPs: paths are
+    # symmetric on an undirected graph, so dist(src, exit) = dist(exit, src).
+    routing_a.warm([ic.pop_a for ic in ics])
+    routing_b.warm([ic.pop_b for ic in ics])
+
+    for flow in flowset:
+        f_up_links = []
+        f_down_links = []
+        for i, ic in enumerate(ics):
+            up_weight[flow.index, i] = routing_a.weight_distance(ic.pop_a, flow.src)
+            up_km[flow.index, i] = routing_a.geo_distance_km(ic.pop_a, flow.src)
+            f_up_links.append(routing_a.path_links(ic.pop_a, flow.src))
+            down_weight[flow.index, i] = routing_b.weight_distance(ic.pop_b, flow.dst)
+            down_km[flow.index, i] = routing_b.geo_distance_km(ic.pop_b, flow.dst)
+            f_down_links.append(routing_b.path_links(ic.pop_b, flow.dst))
+        up_links.append(tuple(f_up_links))
+        down_links.append(tuple(f_down_links))
+
+    table = PairCostTable(
+        pair=pair,
+        flowset=flowset,
+        up_weight=up_weight,
+        down_weight=down_weight,
+        up_km=up_km,
+        down_km=down_km,
+        ic_km=ic_km,
+        up_links=tuple(up_links),
+        down_links=tuple(down_links),
+    )
+    table.validate()
+    return table

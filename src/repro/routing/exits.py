@@ -1,0 +1,37 @@
+"""Interconnection (exit) selection policies.
+
+Three pure functions over a :class:`~repro.routing.costs.PairCostTable`:
+
+* :func:`early_exit_choices` — the default/hot-potato policy: the upstream
+  picks the interconnection closest (in routing weight) to each source;
+* :func:`late_exit_choices` — the MED policy of Figure 1b: the exit closest
+  to the destination in the downstream;
+* :func:`optimal_exit_choices` — the globally optimal per-flow choice that
+  minimizes total geographic distance across both ISPs (Section 5.1's
+  "globally optimal routing").
+
+Ties break toward the lowest interconnection index, deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.costs import PairCostTable
+
+__all__ = ["early_exit_choices", "late_exit_choices", "optimal_exit_choices"]
+
+
+def early_exit_choices(table: PairCostTable) -> np.ndarray:
+    """Early-exit (hot potato): argmin of upstream weight-distance, (F,)."""
+    return np.argmin(table.up_weight, axis=1).astype(np.intp)
+
+
+def late_exit_choices(table: PairCostTable) -> np.ndarray:
+    """Late-exit (MEDs honored): argmin of downstream weight-distance."""
+    return np.argmin(table.down_weight, axis=1).astype(np.intp)
+
+
+def optimal_exit_choices(table: PairCostTable) -> np.ndarray:
+    """Globally optimal for the distance metric: argmin of total km."""
+    return np.argmin(table.total_km(), axis=1).astype(np.intp)

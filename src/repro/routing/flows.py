@@ -1,0 +1,125 @@
+"""The flow model.
+
+A flow is "a stream of packets from a source node in one ISP to a
+destination node in the other ISP" (Section 4); all packets of a flow take
+the same path. The experiments use one flow per (source PoP, destination
+PoP) pair per direction; flow sizes come from the traffic substrate (gravity
+model) for the bandwidth experiments and are uniform for the distance
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.topology.interconnect import IspPair
+
+__all__ = ["Flow", "FlowSet", "build_full_flowset"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One negotiable traffic flow.
+
+    Attributes:
+        index: position within its :class:`FlowSet`.
+        src: source PoP index in the upstream ISP.
+        dst: destination PoP index in the downstream ISP.
+        size: traffic volume (arbitrary units; only ratios matter).
+    """
+
+    index: int
+    src: int
+    dst: int
+    size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise TrafficError(f"flow index must be >= 0, got {self.index}")
+        if self.size <= 0:
+            raise TrafficError(f"flow size must be > 0, got {self.size}")
+
+
+class FlowSet:
+    """An ordered collection of flows for one (pair, direction).
+
+    The direction is implicit: ``src`` PoPs live in ``pair.isp_a``
+    (upstream) and ``dst`` PoPs in ``pair.isp_b`` (downstream). For the
+    reverse direction, build a FlowSet over ``pair.reversed()``.
+    """
+
+    def __init__(self, pair: IspPair, flows: Sequence[Flow]):
+        self._pair = pair
+        self._flows: tuple[Flow, ...] = tuple(flows)
+        n_a = pair.isp_a.n_pops()
+        n_b = pair.isp_b.n_pops()
+        for pos, flow in enumerate(self._flows):
+            if flow.index != pos:
+                raise TrafficError("flow indices must be dense 0..F-1")
+            if not 0 <= flow.src < n_a:
+                raise TrafficError(f"flow {pos}: unknown source PoP {flow.src}")
+            if not 0 <= flow.dst < n_b:
+                raise TrafficError(f"flow {pos}: unknown destination PoP {flow.dst}")
+
+    @property
+    def pair(self) -> IspPair:
+        return self._pair
+
+    @property
+    def flows(self) -> tuple[Flow, ...]:
+        return self._flows
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self._flows)
+
+    def __getitem__(self, index: int) -> Flow:
+        return self._flows[index]
+
+    def sizes(self) -> np.ndarray:
+        """Flow sizes as a float array (F,)."""
+        return np.asarray([f.size for f in self._flows], dtype=float)
+
+    def total_size(self) -> float:
+        return float(self.sizes().sum())
+
+    def subset(self, indices: Sequence[int]) -> "FlowSet":
+        """A reindexed FlowSet containing only the given flow indices."""
+        picked = []
+        for new_index, old_index in enumerate(indices):
+            old = self._flows[old_index]
+            picked.append(
+                Flow(index=new_index, src=old.src, dst=old.dst, size=old.size)
+            )
+        return FlowSet(self._pair, picked)
+
+
+def build_full_flowset(
+    pair: IspPair,
+    size_fn: Callable[[int, int], float] | None = None,
+) -> FlowSet:
+    """One flow per (source PoP, destination PoP) pair, upstream = isp_a.
+
+    ``size_fn(src, dst)`` supplies flow sizes (default: 1.0 for all flows,
+    the distance-experiment convention). Sources and destinations at the
+    same interconnection city still exchange a flow — the paper does not
+    exclude them, and their alternatives simply all cost ~0.
+    """
+    flows = []
+    index = 0
+    for src in range(pair.isp_a.n_pops()):
+        for dst in range(pair.isp_b.n_pops()):
+            size = 1.0 if size_fn is None else float(size_fn(src, dst))
+            if size <= 0:
+                raise TrafficError(
+                    f"size_fn returned non-positive size for ({src}, {dst})"
+                )
+            flows.append(Flow(index=index, src=src, dst=dst, size=size))
+            index += 1
+    return FlowSet(pair, flows)

@@ -1,0 +1,105 @@
+"""Intradomain shortest-path routing over an ISP topology.
+
+Routing follows link *weights* (OSPF-style), while the distance metric of
+Section 5.1 is measured over the geographic *length* of the chosen path —
+the same split the paper inherits from Rocketfuel, whose inferred weights
+approximate but do not equal geographic distance.
+
+Paths are computed lazily per source with Dijkstra and cached; an ISP with
+``k`` interconnections only ever needs ``k + |sources|`` single-source runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.topology.isp import ISPTopology
+
+__all__ = ["IntradomainRouting"]
+
+
+class IntradomainRouting:
+    """Shortest-path routing state for one ISP, with per-source caching."""
+
+    def __init__(self, isp: ISPTopology):
+        self._isp = isp
+        # src -> (weight-dist dict, path dict)
+        self._sssp_cache: dict[int, tuple[dict[int, float], dict[int, list[int]]]] = {}
+        # (src, dst) -> np.ndarray of link indices
+        self._link_cache: dict[tuple[int, int], np.ndarray] = {}
+        # (src, dst) -> geographic length of the routed path
+        self._length_cache: dict[tuple[int, int], float] = {}
+
+    @property
+    def isp(self) -> ISPTopology:
+        return self._isp
+
+    # -- internals ----------------------------------------------------------
+
+    def _sssp(self, src: int) -> tuple[dict[int, float], dict[int, list[int]]]:
+        if src not in self._sssp_cache:
+            self._isp.pop(src)  # validates the index
+            dists, paths = nx.single_source_dijkstra(
+                self._isp.graph, src, weight="weight"
+            )
+            self._sssp_cache[src] = (dists, paths)
+        return self._sssp_cache[src]
+
+    # -- public API -----------------------------------------------------------
+
+    def weight_distance(self, src: int, dst: int) -> float:
+        """Sum of link weights along the routed path (the routing metric)."""
+        dists, _ = self._sssp(src)
+        try:
+            return float(dists[dst])
+        except KeyError:
+            raise RoutingError(
+                f"{self._isp.name}: no path from PoP {src} to {dst}"
+            ) from None
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """PoP indices along the routed path, inclusive of endpoints."""
+        _, paths = self._sssp(src)
+        try:
+            return list(paths[dst])
+        except KeyError:
+            raise RoutingError(
+                f"{self._isp.name}: no path from PoP {src} to {dst}"
+            ) from None
+
+    def path_links(self, src: int, dst: int) -> np.ndarray:
+        """Link indices along the routed path (empty array if src == dst)."""
+        key = (src, dst)
+        if key not in self._link_cache:
+            pops = self.path(src, dst)
+            links = [
+                self._isp.link_between(u, v).index
+                for u, v in zip(pops, pops[1:])
+            ]
+            self._link_cache[key] = np.asarray(links, dtype=np.intp)
+        return self._link_cache[key]
+
+    def geo_distance_km(self, src: int, dst: int) -> float:
+        """Geographic length of the routed path (the Section 5.1 metric)."""
+        key = (src, dst)
+        if key not in self._length_cache:
+            link_lengths = {link.index: link.length_km for link in self._isp.links}
+            total = float(
+                sum(link_lengths[int(i)] for i in self.path_links(src, dst))
+            )
+            self._length_cache[key] = total
+        return self._length_cache[key]
+
+    def distances_to_all(self, src: int) -> dict[int, float]:
+        """Weight-distance from ``src`` to every PoP (copy of the cache row)."""
+        dists, _ = self._sssp(src)
+        return dict(dists)
+
+    def warm(self, sources: Sequence[int]) -> None:
+        """Pre-compute SSSP state for the given sources (optional)."""
+        for src in sources:
+            self._sssp(src)

@@ -1,0 +1,41 @@
+"""ISP topology substrate: PoP-level graphs, generator, dataset, peering."""
+
+from repro.topology.builders import (
+    build_figure1_pair,
+    build_figure2_pair,
+    build_line_isp,
+    build_mesh_isp,
+)
+from repro.topology.dataset import DatasetConfig, IspDataset, build_default_dataset
+from repro.topology.elements import Link, PoP
+from repro.topology.generator import GeneratorConfig, TopologyGenerator
+from repro.topology.interconnect import Interconnection, IspPair, find_isp_pairs
+from repro.topology.isp import ISPTopology
+from repro.topology.serialization import (
+    isp_from_dict,
+    isp_to_dict,
+    load_dataset_json,
+    save_dataset_json,
+)
+
+__all__ = [
+    "PoP",
+    "Link",
+    "ISPTopology",
+    "GeneratorConfig",
+    "TopologyGenerator",
+    "DatasetConfig",
+    "IspDataset",
+    "build_default_dataset",
+    "Interconnection",
+    "IspPair",
+    "find_isp_pairs",
+    "build_figure1_pair",
+    "build_figure2_pair",
+    "build_line_isp",
+    "build_mesh_isp",
+    "isp_to_dict",
+    "isp_from_dict",
+    "save_dataset_json",
+    "load_dataset_json",
+]

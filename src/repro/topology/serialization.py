@@ -1,0 +1,101 @@
+"""JSON (de)serialization for topologies and datasets.
+
+Lets users persist a generated dataset (or load a hand-curated one in the
+same schema, e.g. converted Rocketfuel data) and re-run experiments on it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.geo.coords import GeoPoint
+from repro.topology.elements import Link, PoP
+from repro.topology.isp import ISPTopology
+
+__all__ = [
+    "isp_to_dict",
+    "isp_from_dict",
+    "save_dataset_json",
+    "load_dataset_json",
+]
+
+SCHEMA_VERSION = 1
+
+
+def isp_to_dict(isp: ISPTopology) -> dict[str, Any]:
+    """Plain-dict representation of one ISP topology."""
+    return {
+        "name": isp.name,
+        "pops": [
+            {
+                "index": pop.index,
+                "city": pop.city,
+                "lat": pop.location.lat,
+                "lon": pop.location.lon,
+            }
+            for pop in isp.pops
+        ],
+        "links": [
+            {
+                "index": link.index,
+                "u": link.u,
+                "v": link.v,
+                "weight": link.weight,
+                "length_km": link.length_km,
+            }
+            for link in isp.links
+        ],
+    }
+
+
+def isp_from_dict(data: dict[str, Any]) -> ISPTopology:
+    """Rebuild an :class:`ISPTopology` from :func:`isp_to_dict` output."""
+    try:
+        pops = [
+            PoP(
+                index=int(p["index"]),
+                city=str(p["city"]),
+                location=GeoPoint(lat=float(p["lat"]), lon=float(p["lon"])),
+            )
+            for p in data["pops"]
+        ]
+        links = [
+            Link(
+                index=int(l["index"]),
+                u=int(l["u"]),
+                v=int(l["v"]),
+                weight=float(l["weight"]),
+                length_km=float(l["length_km"]),
+            )
+            for l in data["links"]
+        ]
+        return ISPTopology(name=str(data["name"]), pops=pops, links=links)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed ISP record: {exc}") from exc
+
+
+def save_dataset_json(isps: list[ISPTopology], path: str | Path) -> None:
+    """Write a list of ISPs to a JSON file."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "isps": [isp_to_dict(isp) for isp in isps],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_dataset_json(path: str | Path) -> list[ISPTopology]:
+    """Load a list of ISPs from a JSON file written by ``save_dataset_json``."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read dataset file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "isps" not in payload:
+        raise SerializationError(f"dataset file {path} missing 'isps' key")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported dataset schema {payload.get('schema')!r}"
+        )
+    return [isp_from_dict(record) for record in payload["isps"]]

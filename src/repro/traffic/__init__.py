@@ -1,0 +1,16 @@
+"""Traffic substrate: gravity-model and alternate workloads."""
+
+from repro.traffic.gravity import GravityWorkload, pop_gravity_weights
+from repro.traffic.workloads import (
+    IdenticalWorkload,
+    UniformRandomWorkload,
+    WorkloadModel,
+)
+
+__all__ = [
+    "WorkloadModel",
+    "IdenticalWorkload",
+    "UniformRandomWorkload",
+    "GravityWorkload",
+    "pop_gravity_weights",
+]

@@ -1,0 +1,69 @@
+"""The gravity traffic model.
+
+Section 5.2: "To determine flow sizes we use a gravity model, which predicts
+that the amount of traffic between a pair of PoPs is proportional to the
+product of the 'weight' of the PoPs. We assume that the weight of a PoP is
+proportional to the population of its city." Our population weights come
+from the embedded city database (see DESIGN.md substitutions). The model
+produces a skewed traffic matrix in which larger cities consume more
+bandwidth — "both hallmarks of real Internet traffic".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.geo.population import PopulationModel
+from repro.topology.interconnect import IspPair
+from repro.topology.isp import ISPTopology
+
+__all__ = ["GravityWorkload", "pop_gravity_weights"]
+
+
+def pop_gravity_weights(
+    isp: ISPTopology, population: PopulationModel
+) -> np.ndarray:
+    """Gravity weight of each PoP: the population mass around its city."""
+    return np.asarray(
+        [population.weight_at(pop.location) for pop in isp.pops], dtype=float
+    )
+
+
+class GravityWorkload:
+    """Gravity-model flow sizes, normalized to a configurable mean.
+
+    Attributes:
+        population: the population model mapping PoP locations to weights.
+        mean_size: average flow size after normalization. Only ratios
+            matter to MEL and the LP, but a stable mean keeps load numbers
+            interpretable across pairs of very different footprints.
+    """
+
+    def __init__(self, population: PopulationModel, mean_size: float = 1.0):
+        if mean_size <= 0:
+            raise TrafficError(f"mean_size must be > 0, got {mean_size}")
+        self.population = population
+        self.mean_size = float(mean_size)
+
+    def size_fn(self, pair: IspPair):
+        w_a = pop_gravity_weights(pair.isp_a, self.population)
+        w_b = pop_gravity_weights(pair.isp_b, self.population)
+        if np.any(w_a <= 0) or np.any(w_b <= 0):
+            raise TrafficError("gravity weights must be positive")
+        # Normalize so that the mean flow size equals mean_size.
+        raw_mean = float(np.outer(w_a, w_b).mean())
+        scale = self.mean_size / raw_mean
+
+        def fn(src: int, dst: int) -> float:
+            return float(w_a[src] * w_b[dst] * scale)
+
+        return fn
+
+    def matrix(self, pair: IspPair) -> np.ndarray:
+        """The full (n_pops_a, n_pops_b) traffic matrix for direction A->B."""
+        fn = self.size_fn(pair)
+        n_a, n_b = pair.isp_a.n_pops(), pair.isp_b.n_pops()
+        return np.asarray(
+            [[fn(s, d) for d in range(n_b)] for s in range(n_a)], dtype=float
+        )

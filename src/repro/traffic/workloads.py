@@ -1,0 +1,66 @@
+"""Workload models: map (source PoP, destination PoP) to flow sizes.
+
+The paper's bandwidth experiments use a gravity model weighted by city
+population (see :mod:`repro.traffic.gravity`); as robustness alternates it
+also tries "identical weights for all PoPs and weights drawn from a uniform
+random distribution" — both implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.errors import TrafficError
+from repro.topology.interconnect import IspPair
+from repro.util.rng import RngSource, derive_rng
+
+__all__ = ["WorkloadModel", "IdenticalWorkload", "UniformRandomWorkload"]
+
+SizeFn = Callable[[int, int], float]
+
+
+class WorkloadModel(Protocol):
+    """Anything that yields a flow-size function for a pair."""
+
+    def size_fn(self, pair: IspPair) -> SizeFn:
+        """Return ``f(src_pop, dst_pop) -> size`` for direction A->B."""
+        ...
+
+
+class IdenticalWorkload:
+    """Every flow has the same size (the distance-experiment workload)."""
+
+    def __init__(self, size: float = 1.0):
+        if size <= 0:
+            raise TrafficError(f"size must be > 0, got {size}")
+        self.size = float(size)
+
+    def size_fn(self, pair: IspPair) -> SizeFn:
+        size = self.size
+        return lambda src, dst: size
+
+
+class UniformRandomWorkload:
+    """PoP weights drawn uniformly at random; flow size = w_src * w_dst.
+
+    One of the paper's alternate workload models. Weights are deterministic
+    in (seed, pair name, side, PoP index).
+    """
+
+    def __init__(self, seed: RngSource = None, low: float = 0.5, high: float = 1.5):
+        if not 0 < low <= high:
+            raise TrafficError(f"need 0 < low <= high, got ({low}, {high})")
+        self.seed = seed
+        self.low = float(low)
+        self.high = float(high)
+
+    def size_fn(self, pair: IspPair) -> SizeFn:
+        rng_a = derive_rng(self.seed, "uniform-workload", pair.isp_a.name)
+        rng_b = derive_rng(self.seed, "uniform-workload", pair.isp_b.name)
+        w_a = rng_a.uniform(self.low, self.high, size=pair.isp_a.n_pops())
+        w_b = rng_b.uniform(self.low, self.high, size=pair.isp_b.n_pops())
+
+        def fn(src: int, dst: int) -> float:
+            return float(w_a[src] * w_b[dst])
+
+        return fn

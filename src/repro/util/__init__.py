@@ -1,0 +1,34 @@
+"""Shared utilities: seeded randomness, CDF helpers, validation."""
+
+from repro.util.cdf import (
+    Cdf,
+    empirical_cdf,
+    fraction_at_least,
+    fraction_at_most,
+    percentile,
+)
+from repro.util.rng import RngSource, derive_rng, make_rng, spawn_seeds
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "Cdf",
+    "empirical_cdf",
+    "fraction_at_least",
+    "fraction_at_most",
+    "percentile",
+    "RngSource",
+    "make_rng",
+    "derive_rng",
+    "spawn_seeds",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,48 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+]
+
+
+def check_finite(value: float, name: str) -> float:
+    """Raise unless ``value`` is a finite number; return it as float."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    value = check_finite(value, name)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    value = check_finite(value, name)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    value = check_finite(value, name)
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    return check_in_range(value, 0.0, 1.0, name)

@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic topologies, pairs, and datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.topology.builders import (
+    build_custom_isp,
+    build_figure1_pair,
+    build_figure2_pair,
+)
+from repro.topology.dataset import DatasetConfig, build_default_dataset
+from repro.topology.generator import GeneratorConfig
+from repro.topology.interconnect import Interconnection, IspPair
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return build_figure1_pair()
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    return build_figure2_pair()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 12-ISP dataset small enough for unit tests."""
+    return build_default_dataset(
+        DatasetConfig(
+            n_isps=12,
+            seed=42,
+            generator=GeneratorConfig(min_pops=5, max_pops=9),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def small_pair():
+    """A hand-built 2-interconnection pair with simple geometry.
+
+    Both ISPs are 3-PoP chains sharing their end cities (Left, Right);
+    all weights/lengths are exact integers for easy assertions.
+    """
+    isp_x = build_custom_isp(
+        "xnet",
+        [("Left", 40.0, -100.0), ("MidX", 40.0, -95.0), ("Right", 40.0, -90.0)],
+        [(0, 1, 10.0), (1, 2, 10.0)],
+    )
+    isp_y = build_custom_isp(
+        "ynet",
+        [("Left", 40.0, -100.0), ("MidY", 41.0, -95.0), ("Right", 40.0, -90.0)],
+        [(0, 1, 12.0), (1, 2, 12.0)],
+    )
+    ics = [
+        Interconnection(index=0, city="Left", pop_a=0, pop_b=0),
+        Interconnection(index=1, city="Right", pop_a=2, pop_b=2),
+    ]
+    return IspPair(isp_x, isp_y, ics)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,122 @@
+"""Tests for the Figure 5 baselines and grouped negotiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.flow_strategies import (
+    flow_both_better_choices,
+    flow_pareto_choices,
+)
+from repro.baselines.grouped import grouped_negotiation_choices
+from repro.core.mapping import AutoScaleDeltaMapper, delta_matrix
+from repro.core.preferences import PreferenceRange
+from repro.errors import ConfigurationError
+
+
+def random_instance(seed, n_flows=10, n_alts=3):
+    rng = np.random.default_rng(seed)
+    cost_a = rng.uniform(0, 100, size=(n_flows, n_alts))
+    cost_b = rng.uniform(0, 100, size=(n_flows, n_alts))
+    defaults = rng.integers(0, n_alts, size=n_flows)
+    return cost_a, cost_b, defaults
+
+
+class TestFlowPareto:
+    def test_never_picks_dominated(self):
+        cost_a, cost_b, defaults = random_instance(1)
+        choices = flow_pareto_choices(cost_a, cost_b, defaults, seed=2)
+        da = delta_matrix(cost_a, defaults)
+        db = delta_matrix(cost_b, defaults)
+        for f, c in enumerate(choices):
+            # Never an alternative strictly worse for both.
+            assert not (da[f, c] < 0 and db[f, c] < 0)
+
+    def test_deterministic_in_seed(self):
+        cost_a, cost_b, defaults = random_instance(3)
+        a = flow_pareto_choices(cost_a, cost_b, defaults, seed=5)
+        b = flow_pareto_choices(cost_a, cost_b, defaults, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            flow_pareto_choices(np.zeros((2, 2)), np.zeros((3, 2)),
+                                np.zeros(2, dtype=int))
+
+
+class TestFlowBothBetter:
+    def test_only_picks_win_win(self):
+        cost_a, cost_b, defaults = random_instance(4)
+        choices = flow_both_better_choices(cost_a, cost_b, defaults, seed=6)
+        da = delta_matrix(cost_a, defaults)
+        db = delta_matrix(cost_b, defaults)
+        for f, c in enumerate(choices):
+            assert da[f, c] >= 0 and db[f, c] >= 0
+
+    def test_defaults_survive_when_nothing_better(self):
+        # Any non-default alternative hurts someone: must stay at default.
+        cost_a = np.array([[1.0, 0.5, 2.0]])
+        cost_b = np.array([[1.0, 2.0, 0.5]])
+        defaults = np.array([0])
+        choices = flow_both_better_choices(cost_a, cost_b, defaults, seed=0)
+        assert choices[0] == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_total_never_hurts_either_side(self, seed):
+        cost_a, cost_b, defaults = random_instance(seed)
+        choices = flow_both_better_choices(cost_a, cost_b, defaults, seed=seed)
+        da = delta_matrix(cost_a, defaults)
+        db = delta_matrix(cost_b, defaults)
+        rows = np.arange(len(defaults))
+        assert da[rows, choices].sum() >= -1e-9
+        assert db[rows, choices].sum() >= -1e-9
+
+
+class TestGroupedNegotiation:
+    def _mappers(self):
+        p = PreferenceRange(10)
+        return (AutoScaleDeltaMapper(p, conservative=False, quantile=100.0),
+                AutoScaleDeltaMapper(p, conservative=False, quantile=100.0))
+
+    def test_one_group_equals_whole_table(self):
+        cost_a, cost_b, defaults = random_instance(7)
+        m_a, m_b = self._mappers()
+        choices = grouped_negotiation_choices(
+            cost_a, cost_b, defaults, m_a, m_b, n_groups=1, seed=1
+        )
+        assert choices.shape == defaults.shape
+
+    def test_more_groups_never_gain_more_on_average(self):
+        """The in-text claim: grouping reduces the achievable gain."""
+        totals = {1: [], 5: []}
+        for seed in range(12):
+            cost_a, cost_b, defaults = random_instance(seed, n_flows=20)
+            joint = cost_a + cost_b
+            rows = np.arange(20)
+            base = joint[rows, defaults].sum()
+            for n_groups in (1, 5):
+                m_a, m_b = self._mappers()
+                choices = grouped_negotiation_choices(
+                    cost_a, cost_b, defaults, m_a, m_b,
+                    n_groups=n_groups, seed=seed,
+                )
+                totals[n_groups].append(base - joint[rows, choices].sum())
+        assert np.mean(totals[1]) >= np.mean(totals[5]) - 1e-9
+
+    def test_groups_exceeding_flows_clamped(self):
+        cost_a, cost_b, defaults = random_instance(9, n_flows=3)
+        m_a, m_b = self._mappers()
+        choices = grouped_negotiation_choices(
+            cost_a, cost_b, defaults, m_a, m_b, n_groups=10, seed=2
+        )
+        assert choices.shape == (3,)
+
+    def test_bad_group_count(self):
+        cost_a, cost_b, defaults = random_instance(10)
+        m_a, m_b = self._mappers()
+        with pytest.raises(ConfigurationError):
+            grouped_negotiation_choices(
+                cost_a, cost_b, defaults, m_a, m_b, n_groups=0
+            )

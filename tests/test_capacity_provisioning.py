@@ -1,0 +1,100 @@
+"""Tests for repro.capacity.provisioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.capacity.provisioning import ProportionalCapacity, UnusedLinkPolicy
+from repro.errors import CapacityError
+
+
+class TestProportionalCapacity:
+    def test_proportional_above_median(self):
+        loads = np.array([10.0, 20.0, 30.0])
+        caps = ProportionalCapacity().capacities(loads)
+        # Median is 20; 10 upgraded to 20, others unchanged.
+        assert list(caps) == [20.0, 20.0, 30.0]
+
+    def test_headroom(self):
+        loads = np.array([10.0, 10.0])
+        caps = ProportionalCapacity(headroom=1.5,
+                                    upgrade_below_median=False).capacities(loads)
+        assert np.allclose(caps, 15.0)
+
+    def test_unused_links_get_median(self):
+        loads = np.array([0.0, 10.0, 30.0])
+        caps = ProportionalCapacity(upgrade_below_median=False).capacities(loads)
+        assert caps[0] == pytest.approx(20.0)  # median of {10, 30}
+
+    def test_unused_links_get_max(self):
+        loads = np.array([0.0, 10.0, 30.0])
+        caps = ProportionalCapacity(
+            unused_policy=UnusedLinkPolicy.MAX, upgrade_below_median=False
+        ).capacities(loads)
+        assert caps[0] == 30.0
+
+    def test_unused_links_get_mean(self):
+        loads = np.array([0.0, 10.0, 30.0])
+        caps = ProportionalCapacity(
+            unused_policy=UnusedLinkPolicy.MEAN, upgrade_below_median=False
+        ).capacities(loads)
+        assert caps[0] == 20.0
+
+    def test_upgrade_below_median(self):
+        loads = np.array([1.0, 10.0, 100.0])
+        caps = ProportionalCapacity().capacities(loads)
+        assert caps.min() >= np.median(caps[caps > 0]) - 1e-12
+        assert caps[2] == 100.0
+
+    def test_power_of_two_rounding(self):
+        loads = np.array([3.0, 10.0])
+        caps = ProportionalCapacity(
+            round_power_of_two=True, upgrade_below_median=False
+        ).capacities(loads)
+        assert list(caps) == [4.0, 16.0]
+
+    def test_all_zero_loads(self):
+        caps = ProportionalCapacity().capacities(np.zeros(4))
+        assert np.all(caps > 0)
+
+    def test_empty(self):
+        caps = ProportionalCapacity().capacities(np.zeros(0))
+        assert caps.shape == (0,)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(CapacityError):
+            ProportionalCapacity().capacities(np.array([-1.0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(CapacityError):
+            ProportionalCapacity().capacities(np.zeros((2, 2)))
+
+    def test_bad_headroom(self):
+        with pytest.raises(CapacityError):
+            ProportionalCapacity(headroom=0.0)
+
+
+@given(
+    st.lists(st.floats(0.0, 1e6), min_size=1, max_size=40),
+    st.booleans(),
+    st.booleans(),
+)
+def test_capacities_always_positive_and_cover_load(loads, upgrade, pow2):
+    loads = np.asarray(loads)
+    caps = ProportionalCapacity(
+        upgrade_below_median=upgrade, round_power_of_two=pow2
+    ).capacities(loads)
+    assert caps.shape == loads.shape
+    assert np.all(caps > 0)
+    # A link's capacity is never below its own pre-failure load.
+    assert np.all(caps >= loads - 1e-9)
+
+
+@given(st.lists(st.floats(0.01, 1e5), min_size=1, max_size=20))
+def test_power_of_two_is_power_of_two(loads):
+    caps = ProportionalCapacity(
+        round_power_of_two=True, upgrade_below_median=False
+    ).capacities(np.asarray(loads))
+    logs = np.log2(caps)
+    assert np.allclose(logs, np.round(logs))

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_distance_defaults(self):
+        args = build_parser().parse_args(["distance"])
+        assert args.preset == "quick"
+        assert not args.cheating
+
+    def test_bandwidth_flags(self):
+        args = build_parser().parse_args(
+            ["bandwidth", "--unilateral", "--diverse", "--cheating"]
+        )
+        assert args.unilateral and args.diverse and args.cheating
+
+    def test_bad_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["distance", "--preset", "huge"])
+
+
+class TestCommands:
+    def test_figure1(self):
+        out = io.StringIO()
+        assert main(["figure1"], out=out) == 0
+        assert "Center" in out.getvalue()
+
+    def test_dataset(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "ds.json"
+        code = main(
+            ["dataset", "--preset", "quick", "--out", str(path)], out=out
+        )
+        assert code == 0
+        assert path.exists()
+        assert "pairs with >= 2 interconnections" in out.getvalue()
+
+    def test_distance_quick(self):
+        out = io.StringIO()
+        assert main(["distance", "--preset", "quick"], out=out) == 0
+        text = out.getvalue()
+        assert "Figure 4a" in text
+        assert "interconnections:" in text
+
+    def test_distance_with_cheating(self):
+        out = io.StringIO()
+        assert main(["distance", "--preset", "quick", "--cheating"],
+                    out=out) == 0
+        assert "one cheater" in out.getvalue()
+
+    def test_bandwidth_quick(self):
+        out = io.StringIO()
+        code = main(
+            ["bandwidth", "--preset", "quick", "--unilateral", "--diverse"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "Figure 7" in text
+        assert "Figure 8" in text
+        assert "Figure 9" in text
+
+    def test_seed_override_changes_nothing_structural(self):
+        out = io.StringIO()
+        assert main(["dataset", "--preset", "quick", "--seed", "3"],
+                    out=out) == 0

@@ -1,0 +1,72 @@
+"""Tests for the negotiation wire messages."""
+
+import pytest
+
+from repro.core.messages import (
+    AcceptMessage,
+    PreferenceAdvertisement,
+    ProposalMessage,
+    ReassignMessage,
+    RejectMessage,
+    StopMessage,
+    message_from_dict,
+    message_to_dict,
+)
+from repro.errors import ProtocolError, SerializationError
+
+ALL_MESSAGES = [
+    PreferenceAdvertisement(
+        sender="a",
+        preferences=((0, 1), (-1, 0)),
+        defaults=(0, 1),
+    ),
+    ProposalMessage(sender="b", round_index=3, flow_index=7, alternative=1),
+    AcceptMessage(sender="a", round_index=3, flow_index=7, alternative=1),
+    RejectMessage(sender="a", round_index=4, flow_index=2, alternative=0),
+    ReassignMessage(sender="b", preferences=((0, 2),)),
+    StopMessage(sender="a", reason="no additional gain"),
+]
+
+
+class TestValidation:
+    def test_bad_sender(self):
+        with pytest.raises(ProtocolError):
+            StopMessage(sender="c")
+
+    def test_advertisement_alignment(self):
+        with pytest.raises(ProtocolError):
+            PreferenceAdvertisement(
+                sender="a", preferences=((0,),), defaults=(0, 1)
+            )
+
+    def test_negative_proposal_fields(self):
+        with pytest.raises(ProtocolError):
+            ProposalMessage(sender="a", round_index=-1)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("message", ALL_MESSAGES,
+                             ids=lambda m: type(m).__name__)
+    def test_round_trip(self, message):
+        payload = message_to_dict(message)
+        assert payload["type"] == message.kind
+        restored = message_from_dict(payload)
+        assert restored == message
+
+    def test_unknown_type(self):
+        with pytest.raises(SerializationError):
+            message_from_dict({"type": "nonsense", "sender": "a"})
+
+    def test_missing_type(self):
+        with pytest.raises(SerializationError):
+            message_from_dict({"sender": "a"})
+
+    def test_malformed_fields(self):
+        with pytest.raises(SerializationError):
+            message_from_dict({"type": "proposal", "sender": "a"})
+
+    def test_payload_is_json_safe(self):
+        import json
+
+        for message in ALL_MESSAGES:
+            json.dumps(message_to_dict(message))

@@ -1,0 +1,80 @@
+"""Tests for repro.core.preferences."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.preferences import DEFAULT_RANGE, PreferenceRange
+from repro.errors import PreferenceError
+
+
+class TestPreferenceRange:
+    def test_default_is_papers(self):
+        assert DEFAULT_RANGE.p == 10
+        assert DEFAULT_RANGE.min == -10
+        assert DEFAULT_RANGE.max == 10
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_p_must_be_positive(self, bad):
+        with pytest.raises(PreferenceError):
+            PreferenceRange(bad)
+
+    def test_p_must_be_integer(self):
+        with pytest.raises(PreferenceError):
+            PreferenceRange(2.5)  # type: ignore[arg-type]
+
+    def test_bool_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferenceRange(True)  # type: ignore[arg-type]
+
+    def test_clamp_rounds(self):
+        r = PreferenceRange(5)
+        assert r.clamp(2.4) == 2
+        assert r.clamp(2.6) == 3
+        assert r.clamp(-7.9) == -5
+        assert r.clamp(99) == 5
+
+    def test_clamp_array(self):
+        r = PreferenceRange(3)
+        out = r.clamp_array(np.array([-10.0, -0.4, 0.6, 10.0]))
+        assert list(out) == [-3, 0, 1, 3]
+        assert out.dtype == np.int64
+
+    def test_validate_array_accepts_in_range(self):
+        r = PreferenceRange(2)
+        prefs = np.array([[-2, 0], [1, 2]])
+        assert r.validate_array(prefs) is prefs
+
+    def test_validate_array_rejects_out_of_range(self):
+        r = PreferenceRange(2)
+        with pytest.raises(PreferenceError):
+            r.validate_array(np.array([[3]]))
+
+    def test_validate_array_rejects_floats(self):
+        r = PreferenceRange(2)
+        with pytest.raises(PreferenceError):
+            r.validate_array(np.array([[1.0]]))
+
+    def test_validate_empty(self):
+        r = PreferenceRange(2)
+        r.validate_array(np.zeros((0, 3), dtype=np.int64))
+
+
+@given(st.integers(1, 50), st.floats(-1e9, 1e9))
+def test_clamp_always_in_range(p, value):
+    r = PreferenceRange(p)
+    clamped = r.clamp(value)
+    assert -p <= clamped <= p
+    assert isinstance(clamped, int)
+
+
+@given(
+    st.integers(1, 20),
+    st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+)
+def test_clamp_array_matches_scalar(p, values):
+    r = PreferenceRange(p)
+    arr = r.clamp_array(np.asarray(values))
+    for v, c in zip(values, arr):
+        assert int(c) == r.clamp(v)

@@ -1,0 +1,293 @@
+"""Tests for the Nexit session engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import StaticCostEvaluator, StaticPreferenceEvaluator
+from repro.core.mapping import LinearDeltaMapper
+from repro.core.outcomes import TerminationReason
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import (
+    LowerGainTurns,
+    ReassignEveryFraction,
+    TerminationMode,
+    VetoIfWorseThanDefault,
+)
+from repro.errors import NegotiationError
+
+
+def make_session(prefs_a, prefs_b, defaults=None, config=None, sizes=None,
+                 term=TerminationMode.EARLY):
+    prefs_a = np.asarray(prefs_a)
+    prefs_b = np.asarray(prefs_b)
+    if defaults is None:
+        defaults = np.zeros(prefs_a.shape[0], dtype=int)
+    ev_a = StaticPreferenceEvaluator(prefs_a, defaults)
+    ev_b = StaticPreferenceEvaluator(prefs_b, defaults)
+    return NegotiationSession(
+        NegotiationAgent("a", ev_a, termination=term),
+        NegotiationAgent("b", ev_b, termination=term),
+        defaults=defaults,
+        sizes=sizes,
+        config=config,
+    )
+
+
+class TestBasicDynamics:
+    def test_uncompensated_concession_never_happens(self):
+        # A single flow where only B gains: A, proposing first with no
+        # upside anywhere, stops immediately — no one-sided charity.
+        out = make_session([[0, -1]], [[0, 3]]).run()
+        assert out.choices[0] == 0
+        assert out.reason == TerminationReason.EARLY_STOP_A
+
+    def test_positive_sum_trade_happens_under_full_termination(self):
+        # Under full termination with rollback disabled, the socially
+        # positive (but A-losing) trade completes — the social-welfare
+        # configuration of the protocol.
+        out = make_session([[0, -1]], [[0, 3]], term=TerminationMode.FULL,
+                           config=SessionConfig(rollback=False)).run()
+        assert out.choices[0] == 1
+        assert out.gain_a == -1 and out.gain_b == 3
+
+    def test_full_termination_with_rollback_reverts_loser(self):
+        out = make_session([[0, -1]], [[0, 3]],
+                           term=TerminationMode.FULL).run()
+        # The trade is proposed and accepted, then rolled back to protect A.
+        assert out.choices[0] == 0
+        assert out.gain_a >= 0 and out.gain_b >= 0
+        assert len(out.rolled_back) == 1
+
+    def test_negative_sum_trade_rejected(self):
+        out = make_session([[0, -3]], [[0, 1]],
+                           term=TerminationMode.FULL).run()
+        assert out.choices[0] == 0
+        assert out.reason == TerminationReason.NO_JOINT_GAIN
+
+    def test_mutual_compensation_across_flows(self):
+        """The core Nexit dynamic: trade a loss here for a gain there."""
+        prefs_a = [[0, -2], [0, 5]]
+        prefs_b = [[0, 5], [0, -2]]
+        out = make_session(prefs_a, prefs_b).run()
+        assert list(out.choices) == [1, 1]
+        assert out.gain_a == 3 and out.gain_b == 3
+
+    def test_flows_removed_after_acceptance(self):
+        out = make_session([[0, 1]], [[0, 1]]).run()
+        assert out.n_negotiated == 1
+        assert out.reason == TerminationReason.EXHAUSTED
+
+    def test_defaults_kept_for_unnegotiated(self):
+        defaults = np.array([1, 0])
+        out = make_session([[0, 0], [0, 0]], [[0, 0], [0, 0]],
+                           defaults=defaults).run()
+        assert np.array_equal(out.choices, defaults)
+
+
+class TestWinWinGuarantee:
+    def test_rollback_protects_loser(self):
+        # Only A gains; every trade hurts B: nothing should survive.
+        prefs_a = [[0, 5], [0, 4]]
+        prefs_b = [[0, -1], [0, -1]]
+        out = make_session(prefs_a, prefs_b).run()
+        assert out.gain_a >= 0 and out.gain_b >= 0
+        assert np.array_equal(out.choices, [0, 0])
+        assert len(out.rolled_back) > 0
+
+    def test_rollback_keeps_good_trades(self):
+        # Two good trades plus one that pushes B negative.
+        prefs_a = [[0, -1], [0, 5], [0, 9]]
+        prefs_b = [[0, 4], [0, -2], [0, -3]]
+        out = make_session(prefs_a, prefs_b).run()
+        assert out.gain_a >= 0 and out.gain_b >= 0
+        # At least the mutually-compensating pair survives.
+        assert out.n_negotiated >= 2
+
+    def test_rollback_disabled(self):
+        prefs_a = [[0, 5], [0, 4]]
+        prefs_b = [[0, -1], [0, -1]]
+        out = make_session(prefs_a, prefs_b,
+                           config=SessionConfig(rollback=False)).run()
+        assert out.gain_b < 0  # without the guard, B ends negative
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 12), st.integers(2, 4))
+    def test_never_worse_than_default(self, seed, n_flows, n_alts):
+        """Property: with rollback, both class gains are >= 0 always."""
+        rng = np.random.default_rng(seed)
+        prefs_a = rng.integers(-5, 6, size=(n_flows, n_alts))
+        prefs_b = rng.integers(-5, 6, size=(n_flows, n_alts))
+        defaults = rng.integers(0, n_alts, size=n_flows)
+        rows = np.arange(n_flows)
+        prefs_a[rows, defaults] = 0
+        prefs_b[rows, defaults] = 0
+        out = make_session(prefs_a, prefs_b, defaults=defaults).run()
+        assert out.gain_a >= 0
+        assert out.gain_b >= 0
+        assert out.true_gain_a >= -1e-9
+        assert out.true_gain_b >= -1e-9
+
+
+class TestTermination:
+    def test_early_stop_when_no_own_upside(self):
+        # A has zero upside anywhere and proposes first: stops immediately.
+        prefs_a = [[0, 0], [0, -1]]
+        prefs_b = [[0, 1], [0, 1]]
+        out = make_session(prefs_a, prefs_b).run()
+        assert out.reason == TerminationReason.EARLY_STOP_A
+        assert out.n_negotiated == 0
+
+    def test_full_termination_exhausts_joint_gains(self):
+        prefs_a = [[0, 0], [0, -1]]
+        prefs_b = [[0, 1], [0, 1]]
+        out = make_session(prefs_a, prefs_b, term=TerminationMode.FULL).run()
+        # Flow 0 is a free Pareto improvement for B; full termination takes it.
+        assert out.choices[0] == 1
+        assert out.gain_a == 0 and out.gain_b == 1
+
+    def test_round_limit(self):
+        prefs_a = [[0, 1]] * 5
+        prefs_b = [[0, 1]] * 5
+        out = make_session(prefs_a, prefs_b,
+                           config=SessionConfig(max_rounds=2)).run()
+        assert out.reason == TerminationReason.ROUND_LIMIT
+        assert out.n_negotiated == 2
+
+
+class TestVeto:
+    def test_vetoed_proposal_banned_and_negotiation_continues(self):
+        # Flow 0 (A +9, B -5) ties flow 1 (A +1, B +3) on combined sum;
+        # A's local tie-break proposes flow 0 first, B vetoes it (its
+        # cumulative would go negative), and negotiation then completes
+        # the mutually good flow 1 instead of deadlocking.
+        prefs_a = [[0, 9], [0, 1]]
+        prefs_b = [[0, -5], [0, 3]]
+        ev_a = StaticPreferenceEvaluator(np.array(prefs_a), np.zeros(2, int))
+        ev_b = StaticPreferenceEvaluator(np.array(prefs_b), np.zeros(2, int))
+        session = NegotiationSession(
+            NegotiationAgent("a", ev_a),
+            NegotiationAgent("b", ev_b, acceptance=VetoIfWorseThanDefault()),
+        )
+        out = session.run()
+        assert out.choices[0] == 0  # vetoed
+        assert out.choices[1] == 1  # accepted
+        rejected = [r for r in out.rounds if not r.accepted]
+        assert len(rejected) == 1
+        assert rejected[0].flow_index == 0
+
+
+class TestReassignment:
+    def test_figure3_dynamics(self):
+        """Zero-gain commit then reassignment-revealed gain (Figure 3)."""
+        p1 = PreferenceRange(1)
+        ev_a = StaticPreferenceEvaluator(
+            np.array([[-1, 0], [0, 0]]), np.array([1, 1]), p1,
+            stages=[np.array([[-1, 0], [0, 0]])],
+        )
+        ev_b = StaticPreferenceEvaluator(
+            np.array([[0, 0], [0, 0]]), np.array([1, 1]), p1,
+            stages=[np.array([[0, 0], [1, 0]])],
+        )
+        session = NegotiationSession(
+            NegotiationAgent("a", ev_a),
+            NegotiationAgent("b", ev_b),
+            config=SessionConfig(reassignment_policy=ReassignEveryFraction(0.5)),
+        )
+        out = session.run()
+        assert list(out.choices) == [1, 0]
+        assert out.reassignments >= 1
+
+    def test_reassignment_counted_by_traffic_fraction(self):
+        prefs = [[0, 1]] * 4
+        out = make_session(
+            prefs, prefs,
+            sizes=np.array([1.0, 1.0, 1.0, 97.0]),
+            config=SessionConfig(
+                reassignment_policy=ReassignEveryFraction(0.5)
+            ),
+        ).run()
+        # Only the 97-unit flow crosses the 50% threshold.
+        assert out.reassignments == 1
+
+
+class TestTurnPolicies:
+    def test_lower_gain_turns(self):
+        # Flow 0 favors A, flow 1 favors B; the policy hands the turn to
+        # whoever trails in cumulative gain.
+        prefs_a = [[0, 2], [0, 1]]
+        prefs_b = [[0, 1], [0, 2]]
+        cfg = SessionConfig(turn_policy=LowerGainTurns())
+        out = make_session(prefs_a, prefs_b, config=cfg).run()
+        proposers = [r.proposer for r in out.accepted_rounds()]
+        # A (tie at 0,0) proposes flow 0 and pulls ahead 2-1; B, trailing,
+        # gets the next turn.
+        assert proposers == [0, 1]
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        ev_a = StaticPreferenceEvaluator(np.zeros((2, 2), int), np.zeros(2, int))
+        ev_b = StaticPreferenceEvaluator(np.zeros((3, 2), int), np.zeros(3, int))
+        with pytest.raises(NegotiationError):
+            NegotiationSession(NegotiationAgent("a", ev_a),
+                               NegotiationAgent("b", ev_b))
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(NegotiationError):
+            make_session([[0, 1]], [[0, 1]], sizes=np.array([0.0]))
+
+    def test_bad_defaults_rejected(self):
+        with pytest.raises(NegotiationError):
+            make_session([[0, 1]], [[0, 1]], defaults=np.array([7]))
+
+
+class TestMessageTranscript:
+    def test_transcript_structure(self):
+        cfg = SessionConfig(record_messages=True)
+        session = make_session([[0, -1], [0, 5]], [[0, 5], [0, -1]], config=cfg)
+        out = session.run()
+        kinds = [type(m).__name__ for m in session.messages]
+        assert kinds.count("PreferenceAdvertisement") == 2
+        assert kinds.count("ProposalMessage") == out.n_rounds
+        assert kinds.count("AcceptMessage") == len(out.accepted_rounds())
+
+    def test_no_transcript_by_default(self):
+        session = make_session([[0, 1]], [[0, 1]])
+        session.run()
+        assert session.messages == []
+
+
+class TestTrueGainAccounting:
+    def test_true_gains_from_cost_evaluators(self):
+        # Mirrored compensation: each ISP loses 2.5 km on one flow and
+        # gains 9 km on the other.
+        costs_a = np.array([[10.0, 12.5], [20.0, 11.0]])
+        costs_b = np.array([[20.0, 11.0], [10.0, 12.5]])
+        defaults = np.array([0, 0])
+        mapper = LinearDeltaMapper(PreferenceRange(10), unit=1.0)
+        session = NegotiationSession(
+            NegotiationAgent("a", StaticCostEvaluator(costs_a, defaults, mapper)),
+            NegotiationAgent("b", StaticCostEvaluator(costs_b, defaults, mapper)),
+        )
+        out = session.run()
+        assert list(out.choices) == [1, 1]
+        assert out.true_gain_a == pytest.approx(6.5)
+        assert out.true_gain_b == pytest.approx(6.5)
+
+    def test_true_metric_rollback(self):
+        # Classes say the trade is neutral-positive, but A's true metric
+        # loses: the session must roll it back.
+        costs_a = np.array([[10.0, 10.4]])  # true loss, class 0
+        costs_b = np.array([[20.0, 19.0]])  # true gain +1, class +1
+        mapper = LinearDeltaMapper(PreferenceRange(10), unit=1.0)
+        session = NegotiationSession(
+            NegotiationAgent("a", StaticCostEvaluator(costs_a, np.array([0]), mapper)),
+            NegotiationAgent("b", StaticCostEvaluator(costs_b, np.array([0]), mapper)),
+        )
+        out = session.run()
+        assert out.choices[0] == 0
+        assert out.true_gain_a == 0.0

@@ -1,0 +1,162 @@
+"""Tests for repro.core.strategies (protocol-step policies)."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    AlternatingTurns,
+    AlwaysAccept,
+    BestLocalProposals,
+    CoinTossTurns,
+    LowerGainTurns,
+    MaxCombinedProposals,
+    ReassignEveryFraction,
+    ReassignNever,
+    VetoIfWorseThanDefault,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTurnPolicies:
+    def test_alternating(self):
+        policy = AlternatingTurns()
+        assert [policy.proposer(i, (0, 0)) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_alternating_first_b(self):
+        policy = AlternatingTurns(first=1)
+        assert policy.proposer(0, (0, 0)) == 1
+
+    def test_alternating_bad_first(self):
+        with pytest.raises(ConfigurationError):
+            AlternatingTurns(first=2)
+
+    def test_lower_gain(self):
+        policy = LowerGainTurns()
+        assert policy.proposer(0, (5, 3)) == 1
+        assert policy.proposer(0, (2, 3)) == 0
+        assert policy.proposer(0, (3, 3)) == 0  # tie -> A
+
+    def test_coin_toss_deterministic_in_seed(self):
+        policy_a = CoinTossTurns(9)
+        policy_b = CoinTossTurns(9)
+        a = [policy_a.proposer(i, (0, 0)) for i in range(20)]
+        b = [policy_b.proposer(i, (0, 0)) for i in range(20)]
+        assert a == b
+        assert set(a) == {0, 1}
+
+
+class TestMaxCombinedProposals:
+    def test_picks_max_sum(self):
+        own = np.array([[0, 2], [0, 5]])
+        other = np.array([[0, 1], [0, -1]])
+        pick = MaxCombinedProposals().propose(
+            own, other, np.ones_like(own, dtype=bool)
+        )
+        assert pick == (1, 1)  # combined 4 beats 3
+
+    def test_tie_break_own_preference(self):
+        own = np.array([[0, 1], [0, 3]])
+        other = np.array([[0, 3], [0, 1]])
+        pick = MaxCombinedProposals().propose(
+            own, other, np.ones_like(own, dtype=bool)
+        )
+        assert pick == (1, 1)  # both combined 4; own pref 3 > 1
+
+    def test_requires_positive_combined(self):
+        own = np.array([[0, -1]])
+        other = np.array([[0, 1]])
+        pick = MaxCombinedProposals().propose(
+            own, other, np.ones_like(own, dtype=bool)
+        )
+        assert pick is None
+
+    def test_allow_zero(self):
+        own = np.array([[0, -1]])
+        other = np.array([[0, 1]])
+        pick = MaxCombinedProposals().propose(
+            own, other, np.ones_like(own, dtype=bool), allow_zero=True
+        )
+        assert pick == (0, 0)  # the zero-sum default commit is allowed
+
+    def test_respects_candidate_mask(self):
+        own = np.array([[0, 5]])
+        other = np.array([[0, 5]])
+        mask = np.array([[True, False]])
+        assert MaxCombinedProposals().propose(own, other, mask) is None
+
+    def test_empty_mask(self):
+        own = np.zeros((1, 2), dtype=int)
+        other = np.zeros((1, 2), dtype=int)
+        mask = np.zeros((1, 2), dtype=bool)
+        assert MaxCombinedProposals().propose(own, other, mask) is None
+
+    def test_deterministic_final_tie_break(self):
+        own = np.array([[1, 1], [1, 1]])
+        other = np.array([[1, 1], [1, 1]])
+        pick = MaxCombinedProposals().propose(
+            own, other, np.ones_like(own, dtype=bool)
+        )
+        assert pick == (0, 0)  # lowest flow, lowest alternative
+
+
+class TestBestLocalProposals:
+    def test_picks_own_best(self):
+        own = np.array([[0, 2], [0, 5]])
+        other = np.array([[0, 9], [0, -9]])
+        pick = BestLocalProposals().propose(
+            own, other, np.ones_like(own, dtype=bool)
+        )
+        assert pick == (1, 1)
+
+    def test_minimal_negative_impact_tiebreak(self):
+        own = np.array([[0, 5], [0, 5]])
+        other = np.array([[0, -4], [0, -1]])
+        pick = BestLocalProposals().propose(
+            own, other, np.ones_like(own, dtype=bool)
+        )
+        assert pick == (1, 1)  # same own gain; least harm to the peer
+
+    def test_stops_without_own_gain(self):
+        own = np.array([[0, 0]])
+        other = np.array([[0, 9]])
+        assert (
+            BestLocalProposals().propose(own, other, np.ones_like(own, dtype=bool))
+            is None
+        )
+
+
+class TestAcceptancePolicies:
+    def test_always_accept(self):
+        assert AlwaysAccept().accept(-5, 10, -100)
+
+    def test_veto_protects_default(self):
+        veto = VetoIfWorseThanDefault()
+        assert veto.accept(-3, 9, 5)  # 5 - 3 >= 0
+        assert not veto.accept(-6, 9, 5)  # 5 - 6 < 0
+        assert veto.accept(0, 0, 0)
+
+
+class TestReassignmentPolicies:
+    def test_never(self):
+        policy = ReassignNever()
+        assert not policy.should_reassign(100.0, 100.0)
+        assert policy.may_change is False
+
+    def test_every_fraction(self):
+        policy = ReassignEveryFraction(0.25)
+        assert policy.may_change is True
+        assert not policy.should_reassign(10.0, 100.0)
+        assert policy.should_reassign(25.0, 100.0)
+        policy.mark_reassigned(25.0)
+        assert not policy.should_reassign(30.0, 100.0)
+        assert policy.should_reassign(50.0, 100.0)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReassignEveryFraction(0.0)
+        with pytest.raises(ConfigurationError):
+            ReassignEveryFraction(1.5)
+
+    def test_zero_total_never_reassigns(self):
+        policy = ReassignEveryFraction(0.05)
+        assert not policy.should_reassign(1.0, 0.0)

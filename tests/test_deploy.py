@@ -1,0 +1,170 @@
+"""Tests for the Section 6 deployment layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.outcomes import NegotiationOutcome
+from repro.deploy.flow_signatures import (
+    FlowSignature,
+    FlowSignatureTable,
+    NewFlowAnnouncement,
+)
+from repro.deploy.netstate import LinkUtilization, collect_state
+from repro.deploy.service import (
+    DEFAULT_LOCAL_PREF,
+    NegotiationService,
+    RouteDirective,
+)
+from repro.errors import CapacityError, ProtocolError
+from repro.topology.builders import build_line_isp
+
+
+class TestFlowSignature:
+    def test_valid(self):
+        sig = FlowSignature("10.0.0.0/16", "10.1.0.0/16", 42)
+        assert sig.ingress_id == 42
+
+    def test_empty_prefix(self):
+        with pytest.raises(ProtocolError):
+            FlowSignature("", "10.1.0.0/16", 1)
+
+    def test_negative_ingress(self):
+        with pytest.raises(ProtocolError):
+            FlowSignature("a/8", "b/8", -1)
+
+    def test_announcement_size_positive(self):
+        sig = FlowSignature("a/8", "b/8", 1)
+        with pytest.raises(ProtocolError):
+            NewFlowAnnouncement(sig, 0.0)
+
+
+class TestFlowSignatureTable:
+    def test_immediate_announcement_without_threshold(self):
+        table = FlowSignatureTable(seed=1)
+        ann = table.observe("a/8", "b/8", ingress_pop=3, rate=5.0, now=0.0)
+        assert ann is not None
+        assert ann.estimated_size == 5.0
+        assert len(table) == 1
+
+    def test_no_duplicate_announcements(self):
+        table = FlowSignatureTable(seed=1)
+        table.observe("a/8", "b/8", 3, 5.0, now=0.0)
+        assert table.observe("a/8", "b/8", 3, 6.0, now=1.0) is None
+
+    def test_threshold_and_sustain(self):
+        table = FlowSignatureTable(size_threshold=10.0, sustain_seconds=60.0,
+                                   seed=1)
+        assert table.observe("a/8", "b/8", 0, 5.0, now=0.0) is None  # small
+        assert table.observe("a/8", "b/8", 0, 20.0, now=10.0) is None  # new
+        assert table.observe("a/8", "b/8", 0, 20.0, now=30.0) is None  # young
+        ann = table.observe("a/8", "b/8", 0, 20.0, now=80.0)
+        assert ann is not None  # sustained above threshold for 70s
+
+    def test_dip_resets_sustain(self):
+        table = FlowSignatureTable(size_threshold=10.0, sustain_seconds=60.0,
+                                   seed=1)
+        table.observe("a/8", "b/8", 0, 20.0, now=0.0)
+        table.observe("a/8", "b/8", 0, 1.0, now=30.0)  # dips below
+        assert table.observe("a/8", "b/8", 0, 20.0, now=70.0) is None
+
+    def test_ingress_ids_unique_and_opaque(self):
+        table = FlowSignatureTable(seed=1)
+        a = table.observe("a/8", "b/8", 7, 5.0, now=0.0)
+        b = table.observe("c/8", "d/8", 7, 5.0, now=0.0)
+        # Same ingress PoP, different identifiers: no information leakage.
+        assert a.signature.ingress_id != b.signature.ingress_id
+
+    def test_expiry(self):
+        table = FlowSignatureTable(timeout_seconds=100.0, seed=1)
+        table.observe("a/8", "b/8", 0, 5.0, now=0.0)
+        assert table.expire(now=50.0) == []
+        expired = table.expire(now=150.0)
+        assert len(expired) == 1
+        assert len(table) == 0
+
+    def test_negative_rate_rejected(self):
+        table = FlowSignatureTable()
+        with pytest.raises(ProtocolError):
+            table.observe("a/8", "b/8", 0, -1.0, now=0.0)
+
+    def test_bad_config(self):
+        with pytest.raises(ProtocolError):
+            FlowSignatureTable(timeout_seconds=0.0)
+
+
+class TestNetState:
+    def test_collect(self):
+        isp = build_line_isp("n", ["A", "B", "C"])
+        snapshot = collect_state(isp, np.array([1.0, 3.0]), np.array([2.0, 4.0]))
+        assert snapshot.isp_name == "n"
+        assert snapshot.max_utilization() == pytest.approx(0.75)
+        assert len(snapshot.hotspots(0.7)) == 1
+
+    def test_shape_validated(self):
+        isp = build_line_isp("n", ["A", "B"])
+        with pytest.raises(CapacityError):
+            collect_state(isp, np.zeros(3), np.ones(3))
+
+    def test_link_utilization_validation(self):
+        with pytest.raises(CapacityError):
+            LinkUtilization(0, load=1.0, capacity=0.0)
+        with pytest.raises(CapacityError):
+            LinkUtilization(0, load=-1.0, capacity=1.0)
+
+    def test_arrays_roundtrip(self):
+        isp = build_line_isp("n", ["A", "B", "C"])
+        loads = np.array([1.0, 3.0])
+        caps = np.array([2.0, 4.0])
+        snapshot = collect_state(isp, loads, caps)
+        assert np.array_equal(snapshot.loads(), loads)
+        assert np.array_equal(snapshot.capacities(), caps)
+
+
+def _outcome(choices, negotiated):
+    choices = np.asarray(choices)
+    negotiated = np.asarray(negotiated, dtype=bool)
+    return NegotiationOutcome(
+        choices=choices, negotiated=negotiated, gain_a=1, gain_b=1
+    )
+
+
+class TestNegotiationService:
+    @pytest.fixture()
+    def signatures(self):
+        return [FlowSignature("a/8", "x/8", 1), FlowSignature("b/8", "y/8", 2)]
+
+    def test_directives_only_for_negotiated(self, signatures):
+        service = NegotiationService(signatures)
+        outcome = _outcome([1, 0], [True, False])
+        directives = service.compile_directives(outcome)
+        assert len(directives) == 1
+        assert directives[0].interconnection == 1
+        assert directives[0].local_pref > DEFAULT_LOCAL_PREF
+
+    def test_count_mismatch(self, signatures):
+        service = NegotiationService(signatures)
+        with pytest.raises(ProtocolError):
+            service.compile_directives(_outcome([0], [False]))
+
+    def test_verify_compliant(self, signatures):
+        service = NegotiationService(signatures)
+        outcome = _outcome([1, 0], [True, False])
+        report = service.verify(outcome, np.array([1, 0]))
+        assert report.is_compliant
+        assert len(report.compliant) == 2
+
+    def test_verify_violation(self, signatures):
+        service = NegotiationService(signatures)
+        outcome = _outcome([1, 0], [True, False])
+        report = service.verify(outcome, np.array([0, 0]))
+        assert not report.is_compliant
+        signature, agreed, seen = report.violations[0]
+        assert agreed == 1 and seen == 0
+
+    def test_duplicate_signatures_rejected(self, signatures):
+        with pytest.raises(ProtocolError):
+            NegotiationService(signatures + [signatures[0]])
+
+    def test_directive_local_pref_validated(self, signatures):
+        with pytest.raises(ProtocolError):
+            RouteDirective(signatures[0], 0, local_pref=50)

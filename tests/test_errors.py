@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.TopologyError,
+    errors.RoutingError,
+    errors.TrafficError,
+    errors.CapacityError,
+    errors.PreferenceError,
+    errors.ProtocolError,
+    errors.NegotiationError,
+    errors.OptimizationError,
+    errors.SerializationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_single_except_catches_everything():
+    for exc in ALL_ERRORS:
+        try:
+            raise exc("boom")
+        except errors.ReproError as caught:
+            assert "boom" in str(caught)
+
+
+def test_all_exported():
+    for name in errors.__all__:
+        assert hasattr(errors, name)
+
+
+def test_distinct_types():
+    assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)

@@ -1,0 +1,91 @@
+"""Tests for the secondary analyses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.analysis import (
+    gain_by_interconnection_count,
+    gain_concentration_curve,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distance import (
+    DistanceExperimentResult,
+    DistancePairResult,
+    build_distance_problem,
+    run_distance_experiment,
+)
+from repro.topology.dataset import build_default_dataset
+
+
+def _pair_result(name, ics, gain):
+    return DistancePairResult(
+        pair_name=name,
+        n_flows=10,
+        n_interconnections=ics,
+        total_gain_optimal=gain + 1,
+        total_gain_negotiated=gain,
+        gain_a_optimal=0.0,
+        gain_b_optimal=0.0,
+        gain_a_negotiated=0.0,
+        gain_b_negotiated=0.0,
+        total_gain_flow_pareto=0.0,
+        total_gain_flow_both_better=0.0,
+        flow_gains_optimal=np.zeros(10),
+        flow_gains_negotiated=np.zeros(10),
+        fraction_non_default=0.1,
+    )
+
+
+class TestGainByInterconnectionCount:
+    def test_grouping_and_medians(self):
+        result = DistanceExperimentResult(
+            pairs=[
+                _pair_result("p1", 2, 1.0),
+                _pair_result("p2", 2, 3.0),
+                _pair_result("p3", 4, 8.0),
+            ]
+        )
+        grouped = gain_by_interconnection_count(result)
+        assert grouped[2] == (2, 2.0)
+        assert grouped[4] == (1, 8.0)
+
+    def test_on_real_experiment(self):
+        result = run_distance_experiment(ExperimentConfig.quick())
+        grouped = gain_by_interconnection_count(result)
+        assert sum(n for n, _ in grouped.values()) == len(result.pairs)
+
+
+class TestGainConcentration:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        config = ExperimentConfig.quick()
+        dataset = build_default_dataset(config.dataset)
+        pair = dataset.pairs(min_interconnections=2, max_pairs=1)[0]
+        return build_distance_problem(pair)
+
+    def test_curve_shape(self, problem):
+        optimal = np.argmin(problem.cost_a + problem.cost_b, axis=1)
+        curve = gain_concentration_curve(problem, optimal, points=6)
+        assert len(curve) == 6
+        assert curve[0] == (0.0, 0.0)
+        fractions = [f for f, _ in curve]
+        captured = [c for _, c in curve]
+        assert fractions == sorted(fractions)
+        # Sorted-by-contribution capture is monotone non-decreasing.
+        assert all(a <= b + 1e-9 for a, b in zip(captured, captured[1:]))
+        assert captured[-1] == pytest.approx(1.0)
+
+    def test_concentration_front_loaded(self, problem):
+        """A small fraction of flows captures a large share of the gain."""
+        optimal = np.argmin(problem.cost_a + problem.cost_b, axis=1)
+        curve = dict(gain_concentration_curve(problem, optimal, points=6))
+        assert curve[0.2] >= 0.5  # 20% of flows -> at least half the gain
+
+    def test_no_moved_flows(self, problem):
+        curve = gain_concentration_curve(problem, problem.defaults, points=3)
+        assert curve == [(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)]
+
+    def test_bad_points(self, problem):
+        with pytest.raises(ConfigurationError):
+            gain_concentration_curve(problem, problem.defaults, points=1)

@@ -1,0 +1,122 @@
+"""Tests for the bandwidth experiment (Section 5.2 harness)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.bandwidth import (
+    run_bandwidth_case,
+    run_bandwidth_experiment,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.geo.population import PopulationModel
+from repro.topology.dataset import build_default_dataset
+from repro.traffic.gravity import GravityWorkload
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def dataset(config):
+    return build_default_dataset(config.dataset)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return GravityWorkload(PopulationModel(dataset.city_db))
+
+
+@pytest.fixture(scope="module")
+def pair(dataset):
+    return dataset.pairs(min_interconnections=3, max_pairs=1)[0]
+
+
+@pytest.fixture(scope="module")
+def case(pair, config, workload):
+    return run_bandwidth_case(
+        pair, 0, config, workload,
+        include_unilateral=True, include_cheating=True, include_diverse=True,
+    )
+
+
+class TestCase:
+    def test_mels_positive(self, case):
+        for value in (case.mel_default_a, case.mel_default_b,
+                      case.mel_negotiated_a, case.mel_negotiated_b,
+                      case.mel_opt_a, case.mel_opt_b):
+            assert value > 0
+
+    def test_optimal_joint_is_lower_bound(self, case):
+        assert case.mel_opt_joint <= max(case.mel_default_a,
+                                         case.mel_default_b) + 1e-6
+        assert case.mel_opt_joint <= max(case.mel_negotiated_a,
+                                         case.mel_negotiated_b) + 1e-6
+
+    def test_negotiated_never_worse_than_default(self, case):
+        """The Pareto gate of continuous renegotiation guarantees this."""
+        assert case.mel_negotiated_a <= case.mel_default_a + 1e-9
+        assert case.mel_negotiated_b <= case.mel_default_b + 1e-9
+
+    def test_optional_variants_present(self, case):
+        assert case.mel_unilateral_a is not None
+        assert case.mel_cheat_a is not None
+        assert case.mel_diverse_a is not None
+        assert case.diverse_downstream_gain_pct is not None
+
+    def test_ratios(self, case):
+        assert case.ratio_default_a() >= case.ratio_negotiated_a() - 1e-9
+        assert case.ratio_unilateral_downstream_vs_default() is not None
+
+    def test_affected_flow_count(self, case, pair):
+        total = pair.isp_a.n_pops() * pair.isp_b.n_pops()
+        assert 0 <= case.n_affected <= total
+
+    def test_failed_city_named(self, case, pair):
+        assert case.failed_city == pair.interconnections[0].city
+
+
+class TestCaseValidation:
+    def test_two_ic_pair_rejected(self, dataset, config, workload):
+        pairs = dataset.pairs(min_interconnections=2)
+        two_ic = next(p for p in pairs if p.n_interconnections() == 2)
+        with pytest.raises(ConfigurationError):
+            run_bandwidth_case(two_ic, 0, config, workload)
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return run_bandwidth_experiment(config, include_unilateral=True)
+
+    def test_case_count(self, result, config):
+        assert 0 < len(result.cases) <= (
+            config.max_pairs_bandwidth * config.max_failures_per_pair
+        )
+
+    def test_cdfs(self, result):
+        for method, side in (("default", "a"), ("negotiated", "a"),
+                             ("default", "b"), ("negotiated", "b")):
+            cdf = result.cdf_ratio(method, side)
+            assert len(cdf) == len(result.cases)
+            assert cdf.min() > 0
+
+    def test_unilateral_cdf(self, result):
+        cdf = result.cdf_unilateral_downstream()
+        assert len(cdf) == len(result.cases)
+
+    def test_negotiated_beats_default_in_aggregate(self, result):
+        assert (
+            result.cdf_ratio("negotiated", "a").mean()
+            <= result.cdf_ratio("default", "a").mean() + 1e-9
+        )
+
+    def test_deterministic(self, config):
+        a = run_bandwidth_experiment(config)
+        b = run_bandwidth_experiment(config)
+        assert len(a.cases) == len(b.cases)
+        for ca, cb in zip(a.cases, b.cases):
+            assert ca.mel_negotiated_a == cb.mel_negotiated_a
+            assert ca.mel_default_b == cb.mel_default_b

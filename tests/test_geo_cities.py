@@ -1,0 +1,110 @@
+"""Tests for repro.geo.cities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.cities import City, CityDatabase, default_city_database
+from repro.geo.coords import GeoPoint
+
+
+@pytest.fixture(scope="module")
+def db():
+    return default_city_database()
+
+
+class TestDefaultDatabase:
+    def test_size(self, db):
+        # Enough cities for diverse 65-ISP footprints.
+        assert len(db) >= 120
+
+    def test_unique_names(self, db):
+        names = [c.name for c in db]
+        assert len(set(names)) == len(names)
+
+    def test_contains_major_cities(self, db):
+        for name in ("New York", "London", "Tokyo", "Seattle", "Frankfurt"):
+            assert name in db
+
+    def test_populations_positive(self, db):
+        assert all(c.population > 0 for c in db)
+
+    def test_population_skew(self, db):
+        # The gravity model relies on heavy-tailed populations.
+        pops = sorted(c.population for c in db)
+        assert pops[-1] / pops[0] > 20
+
+    def test_regions_cover_continents(self, db):
+        regions = db.regions()
+        assert "na-east" in regions
+        assert "eu-west" in regions
+        assert "apac" in regions
+
+    def test_get_unknown_raises(self, db):
+        with pytest.raises(ConfigurationError):
+            db.get("Atlantis")
+
+    def test_get_known(self, db):
+        city = db.get("Seattle")
+        assert city.country == "US"
+        assert city.location.lat == pytest.approx(47.61, abs=0.5)
+
+
+class TestCityDatabase:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CityDatabase([])
+
+    def test_duplicate_names_rejected(self):
+        city = City("X", "US", GeoPoint(0, 0), 1000.0, "na-east")
+        with pytest.raises(ConfigurationError):
+            CityDatabase([city, city])
+
+    def test_in_regions_filters(self, db):
+        sub = db.in_regions(["apac"])
+        assert all(c.region == "apac" for c in sub)
+        assert len(sub) < len(db)
+
+    def test_in_regions_unknown(self, db):
+        with pytest.raises(ConfigurationError):
+            db.in_regions(["middle-earth"])
+
+    def test_total_population(self, db):
+        assert db.total_population() == pytest.approx(
+            sum(c.population for c in db)
+        )
+
+
+class TestSampling:
+    def test_sample_distinct(self, db):
+        rng = np.random.default_rng(0)
+        cities = db.sample(rng, 30)
+        assert len({c.name for c in cities}) == 30
+
+    def test_sample_deterministic(self, db):
+        a = [c.name for c in db.sample(np.random.default_rng(5), 10)]
+        b = [c.name for c in db.sample(np.random.default_rng(5), 10)]
+        assert a == b
+
+    def test_sample_too_many(self, db):
+        with pytest.raises(ConfigurationError):
+            db.sample(np.random.default_rng(0), len(db) + 1)
+
+    def test_sample_zero_rejected(self, db):
+        with pytest.raises(ConfigurationError):
+            db.sample(np.random.default_rng(0), 0)
+
+    def test_population_weighting_prefers_big_cities(self, db):
+        # Across many draws, population-weighted sampling should pick the
+        # biggest city far more often than a tiny one.
+        rng = np.random.default_rng(1)
+        big_hits = 0
+        for _ in range(200):
+            chosen = {c.name for c in db.sample(rng, 5)}
+            if "Tokyo" in chosen:
+                big_hits += 1
+        assert big_hits > 20  # Tokyo is ~4% of world mass; 5 draws per trial
+
+    def test_city_population_validation(self):
+        with pytest.raises(ConfigurationError):
+            City("Bad", "XX", GeoPoint(0, 0), 0.0, "na-east")

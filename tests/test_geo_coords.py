@@ -1,0 +1,100 @@
+"""Tests for repro.geo.coords."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import EARTH_RADIUS_KM, GeoPoint, great_circle_km, midpoint
+
+lat_st = st.floats(-90.0, 90.0)
+lon_st = st.floats(-180.0, 180.0)
+point_st = st.builds(GeoPoint, lat=lat_st, lon=lon_st)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        p = GeoPoint(lat=47.61, lon=-122.33)
+        assert p.lat == 47.61
+
+    @pytest.mark.parametrize("lat", [-90.1, 90.1])
+    def test_latitude_range(self, lat):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(lat=lat, lon=0.0)
+
+    @pytest.mark.parametrize("lon", [-180.1, 180.1])
+    def test_longitude_range(self, lon):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(lat=0.0, lon=lon)
+
+    def test_distance_method_matches_function(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 1.0)
+        assert a.distance_km(b) == great_circle_km(a, b)
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        p = GeoPoint(12.0, 34.0)
+        assert great_circle_km(p, p) == 0.0
+
+    def test_one_degree_longitude_at_equator(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 1.0)
+        expected = 2 * math.pi * EARTH_RADIUS_KM / 360
+        assert great_circle_km(a, b) == pytest.approx(expected, rel=1e-6)
+
+    def test_antipodal(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert great_circle_km(a, b) == pytest.approx(
+            math.pi * EARTH_RADIUS_KM, rel=1e-6
+        )
+
+    def test_known_city_distance(self):
+        # New York -> London is roughly 5,570 km.
+        nyc = GeoPoint(40.71, -74.01)
+        london = GeoPoint(51.51, -0.13)
+        assert great_circle_km(nyc, london) == pytest.approx(5570, rel=0.02)
+
+    @given(point_st, point_st)
+    def test_symmetry(self, a, b):
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    @given(point_st, point_st)
+    def test_non_negative_and_bounded(self, a, b):
+        d = great_circle_km(a, b)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(point_st, point_st, point_st)
+    def test_triangle_inequality(self, a, b, c):
+        ab = great_circle_km(a, b)
+        bc = great_circle_km(b, c)
+        ac = great_circle_km(a, c)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestMidpoint:
+    def test_midpoint_of_equator_span(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 10.0)
+        m = midpoint(a, b)
+        assert m.lat == pytest.approx(0.0, abs=1e-9)
+        assert m.lon == pytest.approx(5.0, abs=1e-6)
+
+    @given(point_st, point_st)
+    def test_midpoint_roughly_equidistant(self, a, b):
+        m = midpoint(a, b)
+        da = great_circle_km(a, m)
+        db = great_circle_km(b, m)
+        # Equidistant along the great circle (antipodal pairs degenerate).
+        if great_circle_km(a, b) < 19000:
+            assert da == pytest.approx(db, abs=1.0)
+
+    @given(point_st, point_st)
+    def test_midpoint_valid_coordinates(self, a, b):
+        m = midpoint(a, b)
+        assert -90.0 <= m.lat <= 90.0
+        assert -180.0 <= m.lon <= 180.0

@@ -1,0 +1,62 @@
+"""Tests for repro.geo.population."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.cities import default_city_database
+from repro.geo.coords import GeoPoint
+from repro.geo.population import (
+    GRID_HALF_SIDE_KM,
+    PopulationModel,
+    city_grid_population,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return default_city_database()
+
+
+class TestGridPopulation:
+    def test_city_center_includes_itself(self, db):
+        seattle = db.get("Seattle")
+        pop = city_grid_population(seattle.location, db)
+        assert pop >= seattle.population
+
+    def test_remote_ocean_point_is_zero(self, db):
+        # Middle of the South Pacific: no cities within 40 km.
+        pop = city_grid_population(GeoPoint(-40.0, -130.0), db)
+        assert pop == 0.0
+
+    def test_grid_radius_default(self):
+        assert GRID_HALF_SIDE_KM == pytest.approx(25 * 1.609344)
+
+    def test_invalid_radius(self, db):
+        with pytest.raises(ConfigurationError):
+            city_grid_population(GeoPoint(0, 0), db, grid_half_side_km=0)
+
+    def test_larger_grid_counts_more(self, db):
+        nyc = db.get("New York")
+        small = city_grid_population(nyc.location, db, 10.0)
+        large = city_grid_population(nyc.location, db, 500.0)
+        assert large >= small
+
+
+class TestPopulationModel:
+    def test_weight_at_city(self, db):
+        model = PopulationModel(db)
+        tokyo = db.get("Tokyo")
+        assert model.weight_at(tokyo.location) >= tokyo.population
+
+    def test_floor_applies_in_ocean(self, db):
+        model = PopulationModel(db, floor=1234.0)
+        assert model.weight_at(GeoPoint(-40.0, -130.0)) == 1234.0
+
+    def test_weight_for_city_uses_population(self, db):
+        model = PopulationModel(db)
+        city = db.get("London")
+        assert model.weight_for_city(city) == city.population
+
+    def test_weight_for_tiny_city_floored(self, db):
+        model = PopulationModel(db, floor=10**9)
+        assert model.weight_for_city(db.get("Dubai")) == 10**9

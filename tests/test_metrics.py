@@ -1,0 +1,164 @@
+"""Tests for repro.metrics (distance, MEL, Fortz-Thorup)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.capacity.loads import link_loads
+from repro.errors import CapacityError, ConfigurationError
+from repro.metrics.distance import per_flow_km, per_isp_km, percent_gain, total_km
+from repro.metrics.fortz import (
+    BREAKPOINTS,
+    fortz_thorup_cost,
+    piecewise_link_cost,
+)
+from repro.metrics.mel import max_excess_load, mel_for_placement
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices, optimal_exit_choices
+from repro.routing.flows import build_full_flowset
+
+
+@pytest.fixture()
+def table(small_pair):
+    return build_pair_cost_table(small_pair, build_full_flowset(small_pair))
+
+
+class TestDistanceMetric:
+    def test_total_is_sum_of_flows(self, table):
+        choices = early_exit_choices(table)
+        assert total_km(table, choices) == pytest.approx(
+            per_flow_km(table, choices).sum()
+        )
+
+    def test_optimal_never_worse(self, table):
+        early = total_km(table, early_exit_choices(table))
+        best = total_km(table, optimal_exit_choices(table))
+        assert best <= early + 1e-9
+
+    def test_per_isp_sums_to_total_when_ics_are_zero(self, table):
+        choices = early_exit_choices(table)
+        a, b = per_isp_km(table, choices)
+        assert a + b == pytest.approx(total_km(table, choices))
+
+    def test_weighting_by_size(self, small_pair):
+        table = build_pair_cost_table(
+            small_pair,
+            build_full_flowset(small_pair, size_fn=lambda s, d: 2.0),
+        )
+        choices = early_exit_choices(table)
+        assert total_km(table, choices, weight_by_size=True) == pytest.approx(
+            2.0 * total_km(table, choices)
+        )
+
+    def test_shape_mismatch(self, table):
+        with pytest.raises(ConfigurationError):
+            total_km(table, np.zeros(2, dtype=int))
+
+
+class TestPercentGain:
+    def test_positive_gain(self):
+        assert percent_gain(100.0, 90.0) == pytest.approx(10.0)
+
+    def test_negative_gain(self):
+        assert percent_gain(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_zero_default(self):
+        assert percent_gain(0.0, 0.0) == 0.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percent_gain(-1.0, 0.0)
+
+
+class TestMel:
+    def test_simple(self):
+        assert max_excess_load(np.array([2.0, 1.0]), np.array([1.0, 2.0])) == 2.0
+
+    def test_empty(self):
+        assert max_excess_load(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            max_excess_load(np.array([1.0]), np.array([0.0]))
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(CapacityError):
+            max_excess_load(np.array([-1.0]), np.array([1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CapacityError):
+            max_excess_load(np.zeros(2), np.zeros(3))
+
+    def test_mel_for_placement_matches_manual(self, table):
+        choices = early_exit_choices(table)
+        caps = np.full(table.pair.isp_a.n_links(), 3.0)
+        manual = max_excess_load(link_loads(table, choices, "a"), caps)
+        assert mel_for_placement(table, choices, "a", caps) == manual
+
+    def test_mel_with_base_loads(self, table):
+        choices = early_exit_choices(table)
+        caps = np.full(table.pair.isp_a.n_links(), 3.0)
+        base = np.full(table.pair.isp_a.n_links(), 1.0)
+        with_base = mel_for_placement(table, choices, "a", caps, base_loads=base)
+        without = mel_for_placement(table, choices, "a", caps)
+        assert with_base >= without
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20),
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20),
+    )
+    def test_mel_is_max_ratio(self, loads, caps):
+        n = min(len(loads), len(caps))
+        loads_arr = np.asarray(loads[:n])
+        caps_arr = np.asarray(caps[:n])
+        mel = max_excess_load(loads_arr, caps_arr)
+        assert mel == pytest.approx((loads_arr / caps_arr).max())
+
+
+class TestFortzThorup:
+    def test_zero_load_zero_cost(self):
+        assert piecewise_link_cost(0.0, 10.0) == 0.0
+
+    def test_slope_one_below_first_breakpoint(self):
+        # utilization 0.2 < 1/3: cost = 0.2 * capacity.
+        assert piecewise_link_cost(2.0, 10.0) == pytest.approx(2.0)
+
+    def test_cost_convex_increasing(self):
+        cap = 10.0
+        utils = np.linspace(0.0, 1.5, 40)
+        costs = [piecewise_link_cost(u * cap, cap) for u in utils]
+        diffs = np.diff(costs)
+        assert np.all(diffs >= -1e-9)  # increasing
+        assert np.all(np.diff(diffs) >= -1e-6)  # convex
+
+    def test_continuity_at_breakpoints(self):
+        cap = 1.0
+        for bp in BREAKPOINTS[1:]:
+            below = piecewise_link_cost(bp * cap - 1e-9, cap)
+            above = piecewise_link_cost(bp * cap + 1e-9, cap)
+            assert above - below < 1e-4
+
+    def test_overload_is_very_expensive(self):
+        cheap = piecewise_link_cost(0.5, 1.0)
+        pricey = piecewise_link_cost(1.2, 1.0)
+        assert pricey > 50 * cheap
+
+    def test_network_cost_sums(self):
+        loads = np.array([1.0, 2.0])
+        caps = np.array([10.0, 10.0])
+        assert fortz_thorup_cost(loads, caps) == pytest.approx(
+            piecewise_link_cost(1.0, 10.0) + piecewise_link_cost(2.0, 10.0)
+        )
+
+    def test_bad_capacity(self):
+        with pytest.raises(CapacityError):
+            piecewise_link_cost(1.0, 0.0)
+
+    def test_bad_load(self):
+        with pytest.raises(CapacityError):
+            piecewise_link_cost(-1.0, 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CapacityError):
+            fortz_thorup_cost(np.zeros(2), np.zeros(3))

@@ -1,0 +1,140 @@
+"""Tests for the min-max-load LP and unilateral optimization."""
+
+import numpy as np
+import pytest
+
+from repro.capacity.loads import link_loads
+from repro.errors import OptimizationError
+from repro.metrics.mel import max_excess_load
+from repro.optimal.bandwidth_lp import (
+    LpRoutingResult,
+    fractional_loads,
+    solve_min_max_load_lp,
+)
+from repro.optimal.distance_opt import optimal_distance_choices
+from repro.optimal.unilateral import solve_upstream_unilateral_lp
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices, optimal_exit_choices
+from repro.routing.flows import build_full_flowset
+
+
+@pytest.fixture()
+def table(small_pair):
+    return build_pair_cost_table(small_pair, build_full_flowset(small_pair))
+
+
+@pytest.fixture()
+def caps(small_pair):
+    return (
+        np.full(small_pair.isp_a.n_links(), 3.0),
+        np.full(small_pair.isp_b.n_links(), 3.0),
+    )
+
+
+class TestLpBasics:
+    def test_fractions_are_distributions(self, table, caps):
+        result = solve_min_max_load_lp(table, *caps)
+        assert result.fractions.shape == (table.n_flows, table.n_alternatives)
+        assert np.all(result.fractions >= 0)
+        assert np.allclose(result.fractions.sum(axis=1), 1.0)
+
+    def test_objective_matches_realized_mel(self, table, caps):
+        caps_a, caps_b = caps
+        result = solve_min_max_load_lp(table, caps_a, caps_b)
+        mel_a = max_excess_load(
+            fractional_loads(table, result.fractions, "a"), caps_a
+        )
+        mel_b = max_excess_load(
+            fractional_loads(table, result.fractions, "b"), caps_b
+        )
+        assert max(mel_a, mel_b) == pytest.approx(result.t, abs=1e-6)
+
+    def test_lower_bound_on_integral_placements(self, table, caps):
+        """The fractional optimum lower-bounds every integral placement."""
+        caps_a, caps_b = caps
+        result = solve_min_max_load_lp(table, caps_a, caps_b)
+        for choice_value in range(table.n_alternatives):
+            choices = np.full(table.n_flows, choice_value)
+            mel = max(
+                max_excess_load(link_loads(table, choices, "a"), caps_a),
+                max_excess_load(link_loads(table, choices, "b"), caps_b),
+            )
+            assert result.t <= mel + 1e-9
+
+    def test_base_loads_raise_objective(self, table, caps):
+        caps_a, caps_b = caps
+        plain = solve_min_max_load_lp(table, caps_a, caps_b)
+        base_a = np.full(table.pair.isp_a.n_links(), 2.0)
+        loaded = solve_min_max_load_lp(table, caps_a, caps_b, base_a=base_a)
+        assert loaded.t >= plain.t - 1e-12
+
+    def test_empty_flowset(self, small_pair, caps):
+        table = build_pair_cost_table(
+            small_pair, build_full_flowset(small_pair)
+        ).subset(np.array([], dtype=int))
+        result = solve_min_max_load_lp(table, *caps)
+        assert result.t == 0.0
+        assert result.fractions.shape == (0, 2)
+
+
+class TestLpValidation:
+    def test_bad_caps_shape(self, table):
+        with pytest.raises(OptimizationError):
+            solve_min_max_load_lp(table, np.ones(1), np.ones(1))
+
+    def test_non_positive_caps(self, table, caps):
+        caps_a, caps_b = caps
+        with pytest.raises(OptimizationError):
+            solve_min_max_load_lp(table, caps_a * 0.0, caps_b)
+
+    def test_negative_base(self, table, caps):
+        caps_a, caps_b = caps
+        with pytest.raises(OptimizationError):
+            solve_min_max_load_lp(
+                table, caps_a, caps_b,
+                base_a=-np.ones(table.pair.isp_a.n_links()),
+            )
+
+    def test_negative_objective_rejected(self):
+        with pytest.raises(OptimizationError):
+            LpRoutingResult(t=-1.0, fractions=np.zeros((0, 2)))
+
+    def test_fractional_loads_shape_check(self, table):
+        with pytest.raises(OptimizationError):
+            fractional_loads(table, np.zeros((1, 1)), "a")
+
+    def test_fractional_loads_bad_side(self, table):
+        with pytest.raises(OptimizationError):
+            fractional_loads(
+                table, np.ones((table.n_flows, table.n_alternatives)), "q"
+            )
+
+
+class TestUnilateral:
+    def test_upstream_only_objective(self, table, caps):
+        """Unilateral never beats the joint LP on the joint objective but is
+        at least as good for the upstream alone."""
+        caps_a, caps_b = caps
+        joint = solve_min_max_load_lp(table, caps_a, caps_b)
+        uni = solve_upstream_unilateral_lp(table, caps_a, caps_b)
+        mel_uni_a = max_excess_load(
+            fractional_loads(table, uni.fractions, "a"), caps_a
+        )
+        mel_joint_a = max_excess_load(
+            fractional_loads(table, joint.fractions, "a"), caps_a
+        )
+        assert mel_uni_a <= mel_joint_a + 1e-9
+
+
+class TestDistanceOptimal:
+    def test_alias_of_optimal_exits(self, table):
+        assert np.array_equal(
+            optimal_distance_choices(table), optimal_exit_choices(table)
+        )
+
+    def test_beats_early_exit(self, table):
+        from repro.metrics.distance import total_km
+
+        early = total_km(table, early_exit_choices(table))
+        optimal = total_km(table, optimal_distance_choices(table))
+        assert optimal <= early + 1e-12

@@ -1,0 +1,54 @@
+"""Tests for the package's public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geo",
+            "repro.topology",
+            "repro.routing",
+            "repro.traffic",
+            "repro.capacity",
+            "repro.metrics",
+            "repro.core",
+            "repro.optimal",
+            "repro.baselines",
+            "repro.experiments",
+            "repro.deploy",
+            "repro.util",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__")
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestConvenienceEntryPoint:
+    def test_negotiate_distance_pair(self, small_pair):
+        outcome = repro.negotiate_distance_pair(small_pair)
+        assert outcome.choices.shape == (
+            2 * small_pair.isp_a.n_pops() * small_pair.isp_b.n_pops(),
+        )
+        assert outcome.gain_a >= 0
+        assert outcome.gain_b >= 0
+
+    def test_docstring_quickstart_works(self):
+        scenario = repro.build_figure1_pair()
+        outcome = repro.negotiate_distance_pair(scenario.pair)
+        assert "negotiated" in outcome.summary()

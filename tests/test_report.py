@@ -1,0 +1,51 @@
+"""Tests for the paper-style report formatting."""
+
+from repro.experiments.report import (
+    format_cdf_block,
+    format_claims,
+    format_series_table,
+)
+from repro.util.cdf import empirical_cdf
+
+
+class TestFormatCdfBlock:
+    def test_contains_title_and_rows(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0], label="gain")
+        text = format_cdf_block("Figure X", [cdf], points=3)
+        assert "== Figure X ==" in text
+        assert "gain" in text
+        assert "100.0%" in text
+
+    def test_multiple_curves(self):
+        a = empirical_cdf([1.0], label="one")
+        b = empirical_cdf([2.0], label="two")
+        text = format_cdf_block("T", [a, b], points=2)
+        assert "one" in text and "two" in text
+
+
+class TestFormatSeriesTable:
+    def test_side_by_side_columns(self):
+        a = empirical_cdf([0.0, 10.0], label="optimal")
+        b = empirical_cdf([0.0, 5.0], label="negotiated")
+        text = format_series_table("Figure 4a", [a, b], points=3)
+        lines = text.splitlines()
+        assert "Figure 4a" in lines[0]
+        assert "optimal" in lines[1] and "negotiated" in lines[1]
+        # 3 data rows after title + header.
+        assert len(lines) == 5
+
+    def test_empty_curve_list(self):
+        text = format_series_table("empty", [], points=3)
+        assert "empty" in text
+
+
+class TestFormatClaims:
+    def test_claim_rows(self):
+        text = format_claims("T", [("the sky is blue", "measured: blue")])
+        assert "paper claim vs measured" in text
+        assert "the sky is blue" in text
+        assert "measured: blue" in text
+
+    def test_multiple_claims_order(self):
+        text = format_claims("T", [("first", "a"), ("second", "b")])
+        assert text.index("first") < text.index("second")

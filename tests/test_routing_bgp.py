@@ -1,0 +1,131 @@
+"""Tests for the simplified BGP decision process."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.bgp import BgpSpeaker, RouteAdvertisement, decide_best_route
+
+
+def route(ic, med=0, lp=100, igp=0.0, path=("peer",), prefix="10.0.0.0/8",
+          neighbor="peer"):
+    return RouteAdvertisement(
+        prefix=prefix,
+        neighbor_as=neighbor,
+        as_path=path,
+        interconnection=ic,
+        med=med,
+        local_pref=lp,
+        igp_distance=igp,
+    )
+
+
+class TestAdvertisement:
+    def test_valid(self):
+        assert route(0).interconnection == 0
+
+    def test_empty_prefix(self):
+        with pytest.raises(RoutingError):
+            route(0, prefix="")
+
+    def test_empty_path(self):
+        with pytest.raises(RoutingError):
+            RouteAdvertisement("10.0.0.0/8", "p", (), 0)
+
+    def test_first_hop_must_be_neighbor(self):
+        with pytest.raises(RoutingError):
+            RouteAdvertisement("10.0.0.0/8", "p", ("other",), 0)
+
+    def test_prepending(self):
+        base = route(0, path=("peer", "origin"))
+        prepended = base.prepended(2)
+        assert prepended.as_path == ("peer", "peer", "peer", "origin")
+
+    def test_prepend_zero_identity(self):
+        base = route(0)
+        assert base.prepended(0).as_path == base.as_path
+
+    def test_prepend_negative(self):
+        with pytest.raises(RoutingError):
+            route(0).prepended(-1)
+
+
+class TestDecisionProcess:
+    def test_local_pref_wins(self):
+        best = decide_best_route([route(0, lp=100), route(1, lp=200)])
+        assert best.interconnection == 1
+
+    def test_shorter_as_path_wins(self):
+        long = route(0, path=("peer", "peer", "origin"))
+        short = route(1, path=("peer", "origin"))
+        assert decide_best_route([long, short]).interconnection == 1
+
+    def test_prepending_deflects_traffic(self):
+        plain = route(0, path=("peer", "origin"))
+        padded = route(1, path=("peer", "origin")).prepended(3)
+        assert decide_best_route([plain, padded]).interconnection == 0
+
+    def test_med_breaks_ties_same_neighbor(self):
+        best = decide_best_route([route(0, med=30), route(1, med=10)])
+        assert best.interconnection == 1
+
+    def test_med_ignored_when_not_honored(self):
+        best = decide_best_route(
+            [route(0, med=30, igp=1.0), route(1, med=10, igp=5.0)],
+            honor_med=False,
+        )
+        # Falls through to hot potato.
+        assert best.interconnection == 0
+
+    def test_med_not_compared_across_neighbors(self):
+        a = route(0, med=50, neighbor="x", path=("x",), igp=1.0)
+        b = route(1, med=1, neighbor="y", path=("y",), igp=5.0)
+        # Different neighbors: MED does not filter; IGP decides.
+        assert decide_best_route([a, b]).interconnection == 0
+
+    def test_hot_potato(self):
+        best = decide_best_route([route(0, igp=10.0), route(1, igp=2.0)])
+        assert best.interconnection == 1
+
+    def test_final_tie_break_lowest_ic(self):
+        best = decide_best_route([route(2), route(1)])
+        assert best.interconnection == 1
+
+    def test_empty_routes(self):
+        with pytest.raises(RoutingError):
+            decide_best_route([])
+
+    def test_mixed_prefixes_rejected(self):
+        with pytest.raises(RoutingError):
+            decide_best_route([route(0), route(1, prefix="11.0.0.0/8")])
+
+    def test_precedence_order(self):
+        # local_pref dominates everything, even terrible igp/med.
+        best = decide_best_route(
+            [route(0, lp=200, med=99, igp=99.0),
+             route(1, lp=100, med=0, igp=0.0)]
+        )
+        assert best.interconnection == 0
+
+
+class TestBgpSpeaker:
+    def test_loop_prevention(self):
+        speaker = BgpSpeaker(asn="me")
+        speaker.receive(route(0, path=("peer", "me", "origin")))
+        assert speaker.known_prefixes() == []
+
+    def test_best_route_selection(self):
+        speaker = BgpSpeaker(asn="me")
+        speaker.receive_all([route(0, igp=5.0), route(1, igp=1.0)])
+        assert speaker.best_route("10.0.0.0/8").interconnection == 1
+
+    def test_unknown_prefix(self):
+        speaker = BgpSpeaker(asn="me")
+        with pytest.raises(RoutingError):
+            speaker.best_route("10.0.0.0/8")
+
+    def test_best_routes_all_prefixes(self):
+        speaker = BgpSpeaker(asn="me")
+        speaker.receive(route(0))
+        speaker.receive(route(1, prefix="11.0.0.0/8"))
+        best = speaker.best_routes()
+        assert set(best) == {"10.0.0.0/8", "11.0.0.0/8"}

@@ -1,0 +1,74 @@
+"""Tests for repro.routing.exits (exit-selection policies)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import (
+    early_exit_choices,
+    late_exit_choices,
+    optimal_exit_choices,
+)
+from repro.routing.flows import Flow, FlowSet
+
+
+class TestFigure1Choices:
+    """The Figure 1 flow: early=West, late=East, optimal=Center."""
+
+    @pytest.fixture()
+    def table(self, fig1):
+        src, dst = fig1.flow_a_to_b
+        return build_pair_cost_table(
+            fig1.pair, FlowSet(fig1.pair, [Flow(0, src, dst)])
+        )
+
+    def test_early_exit_is_west(self, fig1, table):
+        choice = early_exit_choices(table)[0]
+        assert fig1.pair.interconnections[choice].city == "West"
+
+    def test_late_exit_is_east(self, fig1, table):
+        choice = late_exit_choices(table)[0]
+        assert fig1.pair.interconnections[choice].city == "East"
+
+    def test_optimal_is_center(self, fig1, table):
+        choice = optimal_exit_choices(table)[0]
+        assert fig1.pair.interconnections[choice].city == "Center"
+
+
+class TestPolicies:
+    @pytest.fixture()
+    def table(self, small_pair):
+        from repro.routing.flows import build_full_flowset
+
+        return build_pair_cost_table(small_pair, build_full_flowset(small_pair))
+
+    def test_early_exit_minimizes_upstream(self, table):
+        choices = early_exit_choices(table)
+        rows = np.arange(table.n_flows)
+        chosen = table.up_weight[rows, choices]
+        assert np.all(chosen <= table.up_weight.min(axis=1) + 1e-12)
+
+    def test_late_exit_minimizes_downstream(self, table):
+        choices = late_exit_choices(table)
+        rows = np.arange(table.n_flows)
+        chosen = table.down_weight[rows, choices]
+        assert np.all(chosen <= table.down_weight.min(axis=1) + 1e-12)
+
+    def test_optimal_minimizes_total(self, table):
+        choices = optimal_exit_choices(table)
+        rows = np.arange(table.n_flows)
+        total = table.total_km()
+        assert np.all(total[rows, choices] <= total.min(axis=1) + 1e-12)
+
+    def test_shapes_and_dtypes(self, table):
+        for policy in (early_exit_choices, late_exit_choices, optimal_exit_choices):
+            choices = policy(table)
+            assert choices.shape == (table.n_flows,)
+            assert choices.dtype == np.intp
+            assert choices.min() >= 0
+            assert choices.max() < table.n_alternatives
+
+    def test_ties_break_deterministically(self, table):
+        a = early_exit_choices(table)
+        b = early_exit_choices(table)
+        assert np.array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Tests for repro.routing.flows."""
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.routing.flows import Flow, FlowSet, build_full_flowset
+
+
+class TestFlow:
+    def test_valid(self):
+        flow = Flow(index=0, src=1, dst=2, size=3.0)
+        assert flow.size == 3.0
+
+    def test_default_size(self):
+        assert Flow(index=0, src=0, dst=0).size == 1.0
+
+    @pytest.mark.parametrize("size", [0.0, -1.0])
+    def test_bad_size(self, size):
+        with pytest.raises(TrafficError):
+            Flow(index=0, src=0, dst=0, size=size)
+
+    def test_bad_index(self):
+        with pytest.raises(TrafficError):
+            Flow(index=-1, src=0, dst=0)
+
+
+class TestFlowSet:
+    def test_full_flowset_covers_all_pairs(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        assert len(fs) == small_pair.isp_a.n_pops() * small_pair.isp_b.n_pops()
+        seen = {(f.src, f.dst) for f in fs}
+        assert len(seen) == len(fs)
+
+    def test_indices_dense(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        assert [f.index for f in fs] == list(range(len(fs)))
+
+    def test_size_fn(self, small_pair):
+        fs = build_full_flowset(small_pair, size_fn=lambda s, d: (s + 1) * (d + 1))
+        assert fs[0].size == 1.0
+        sizes = fs.sizes()
+        assert sizes.shape == (len(fs),)
+        assert fs.total_size() == pytest.approx(sizes.sum())
+
+    def test_size_fn_must_be_positive(self, small_pair):
+        with pytest.raises(TrafficError):
+            build_full_flowset(small_pair, size_fn=lambda s, d: 0.0)
+
+    def test_invalid_src_rejected(self, small_pair):
+        with pytest.raises(TrafficError):
+            FlowSet(small_pair, [Flow(index=0, src=99, dst=0)])
+
+    def test_invalid_dst_rejected(self, small_pair):
+        with pytest.raises(TrafficError):
+            FlowSet(small_pair, [Flow(index=0, src=0, dst=99)])
+
+    def test_non_dense_indices_rejected(self, small_pair):
+        with pytest.raises(TrafficError):
+            FlowSet(small_pair, [Flow(index=1, src=0, dst=0)])
+
+    def test_getitem_and_iter(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        assert fs[0].index == 0
+        assert sum(1 for _ in fs) == len(fs)
+
+
+class TestSubset:
+    def test_subset_reindexes(self, small_pair):
+        fs = build_full_flowset(small_pair, size_fn=lambda s, d: s + d + 1)
+        sub = fs.subset([2, 5])
+        assert len(sub) == 2
+        assert [f.index for f in sub] == [0, 1]
+        assert sub[0].src == fs[2].src
+        assert sub[0].size == fs[2].size
+
+    def test_empty_subset_allowed(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        sub = fs.subset([])
+        assert len(sub) == 0
+        assert sub.sizes().shape == (0,)
+        assert sub.total_size() == 0.0
+
+    def test_subset_order_preserved(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        sub = fs.subset([5, 2])
+        assert sub[0].src == fs[5].src
+        assert sub[1].src == fs[2].src

@@ -1,0 +1,93 @@
+"""Tests for repro.routing.paths."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.paths import IntradomainRouting
+from repro.topology.builders import build_custom_isp, build_line_isp
+
+
+@pytest.fixture()
+def diamond():
+    """A diamond where the weighted shortest path differs from hop count.
+
+    A -- B -- D is weight 2 + 2 = 4 but length 10 + 10 = 20;
+    A -- C -- D is weight 3 + 3 = 6 but length 2 + 2 = 4.
+    Routing follows weights, the distance metric follows lengths.
+    """
+    return build_custom_isp(
+        "diamond",
+        [("A", 40, -100), ("B", 41, -100), ("C", 39, -100), ("D", 40, -99)],
+        [(0, 1, 2.0), (1, 3, 2.0), (0, 2, 3.0), (2, 3, 3.0)],
+        lengths=[10.0, 10.0, 2.0, 2.0],
+    )
+
+
+class TestShortestPaths:
+    def test_weight_distance(self, diamond):
+        routing = IntradomainRouting(diamond)
+        assert routing.weight_distance(0, 3) == 4.0
+
+    def test_path_follows_weights_not_lengths(self, diamond):
+        routing = IntradomainRouting(diamond)
+        assert routing.path(0, 3) == [0, 1, 3]
+
+    def test_geo_distance_of_routed_path(self, diamond):
+        routing = IntradomainRouting(diamond)
+        # The routed (weight-optimal) path is geographically longer.
+        assert routing.geo_distance_km(0, 3) == 20.0
+
+    def test_path_links(self, diamond):
+        routing = IntradomainRouting(diamond)
+        links = routing.path_links(0, 3)
+        assert list(links) == [0, 1]
+
+    def test_trivial_path(self, diamond):
+        routing = IntradomainRouting(diamond)
+        assert routing.weight_distance(2, 2) == 0.0
+        assert routing.path(2, 2) == [2]
+        assert len(routing.path_links(2, 2)) == 0
+        assert routing.geo_distance_km(2, 2) == 0.0
+
+    def test_unknown_pop(self, diamond):
+        routing = IntradomainRouting(diamond)
+        with pytest.raises(Exception):
+            routing.weight_distance(9, 0)
+
+    def test_symmetry_on_undirected_graph(self, diamond):
+        routing = IntradomainRouting(diamond)
+        assert routing.weight_distance(0, 3) == routing.weight_distance(3, 0)
+        assert routing.geo_distance_km(0, 3) == routing.geo_distance_km(3, 0)
+
+
+class TestCaching:
+    def test_distances_to_all(self):
+        line = build_line_isp("l", ["A", "B", "C"], spacing_km=100.0)
+        routing = IntradomainRouting(line)
+        dists = routing.distances_to_all(0)
+        assert dists[0] == 0.0
+        assert dists[2] == pytest.approx(200.0)
+
+    def test_warm_does_not_change_results(self, diamond):
+        cold = IntradomainRouting(diamond)
+        warm = IntradomainRouting(diamond)
+        warm.warm([0, 1, 2, 3])
+        for src in range(4):
+            for dst in range(4):
+                assert cold.weight_distance(src, dst) == warm.weight_distance(
+                    src, dst
+                )
+
+    def test_repeated_queries_consistent(self, diamond):
+        routing = IntradomainRouting(diamond)
+        first = routing.geo_distance_km(0, 3)
+        second = routing.geo_distance_km(0, 3)
+        assert first == second
+
+
+class TestLinePaths:
+    def test_chain_distance_accumulates(self):
+        line = build_line_isp("l", ["A", "B", "C", "D"], spacing_km=250.0)
+        routing = IntradomainRouting(line)
+        assert routing.geo_distance_km(0, 3) == pytest.approx(750.0)
+        assert routing.path(0, 3) == [0, 1, 2, 3]

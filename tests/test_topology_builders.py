@@ -1,0 +1,106 @@
+"""Tests for the hand-built Figure 1 / Figure 2 scenarios."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.routing.paths import IntradomainRouting
+from repro.topology.builders import (
+    build_custom_isp,
+    build_figure1_pair,
+    build_figure2_pair,
+    build_line_isp,
+    build_mesh_isp,
+)
+
+
+class TestCustomBuilder:
+    def test_lengths_default_to_weights(self):
+        isp = build_custom_isp("c", [("A", 0, 0), ("B", 0, 1)], [(0, 1, 7.0)])
+        assert isp.links[0].length_km == 7.0
+
+    def test_lengths_override(self):
+        isp = build_custom_isp(
+            "c", [("A", 0, 0), ("B", 0, 1)], [(0, 1, 7.0)], lengths=[3.0]
+        )
+        assert isp.links[0].length_km == 3.0
+        assert isp.links[0].weight == 7.0
+
+    def test_lengths_mismatch(self):
+        with pytest.raises(TopologyError):
+            build_custom_isp(
+                "c", [("A", 0, 0), ("B", 0, 1)], [(0, 1, 7.0)], lengths=[1.0, 2.0]
+            )
+
+    def test_line_needs_two(self):
+        with pytest.raises(TopologyError):
+            build_line_isp("l", ["A"])
+
+    def test_mesh_needs_four(self):
+        with pytest.raises(TopologyError):
+            build_mesh_isp("m", ["A", "B", "C"])
+
+
+class TestFigure1:
+    def test_geometry(self, fig1):
+        """The documented distances: direct 5, detour 8, end-to-end 13."""
+        alpha = IntradomainRouting(fig1.pair.isp_a)
+        beta = IntradomainRouting(fig1.pair.isp_b)
+        # alpha: West-Center direct 5, Center-East detour 8.
+        assert alpha.geo_distance_km(0, 1) == pytest.approx(5.0)
+        assert alpha.geo_distance_km(1, 2) == pytest.approx(8.0)
+        assert alpha.geo_distance_km(0, 2) == pytest.approx(13.0)
+        # beta mirrors: West-Center 8, Center-East 5.
+        assert beta.geo_distance_km(0, 1) == pytest.approx(8.0)
+        assert beta.geo_distance_km(1, 2) == pytest.approx(5.0)
+
+    def test_three_interconnections(self, fig1):
+        assert fig1.pair.n_interconnections() == 3
+        cities = {ic.city for ic in fig1.pair.interconnections}
+        assert cities == {"West", "Center", "East"}
+
+    def test_center_is_jointly_best(self, fig1):
+        """Early exit costs 13 for one ISP; Center costs 5 + 5."""
+        alpha = IntradomainRouting(fig1.pair.isp_a)
+        beta = IntradomainRouting(fig1.pair.isp_b)
+        src, dst = fig1.flow_a_to_b
+        by_city = {ic.city: ic for ic in fig1.pair.interconnections}
+        total = {
+            city: alpha.geo_distance_km(src, ic.pop_a)
+            + beta.geo_distance_km(ic.pop_b, dst)
+            for city, ic in by_city.items()
+        }
+        assert total["Center"] == pytest.approx(10.0)
+        assert total["West"] == pytest.approx(13.0)
+        assert total["East"] == pytest.approx(13.0)
+
+
+class TestFigure2:
+    def test_structure(self, fig2):
+        assert fig2.pair.n_interconnections() == 3
+        assert fig2.failed_ic_index == 1
+        assert fig2.pair.interconnections[1].city == "MidCity"
+
+    def test_post_failure_pair(self, fig2):
+        post = fig2.post_failure_pair
+        assert post.n_interconnections() == 2
+        assert {ic.city for ic in post.interconnections} == {
+            "BotCity",
+            "TopCity",
+        }
+
+    def test_capacities_cover_links(self, fig2):
+        assert set(fig2.capacities_gamma) == {
+            l.index for l in fig2.pair.isp_a.links
+        }
+        assert set(fig2.capacities_delta) == {
+            l.index for l in fig2.pair.isp_b.links
+        }
+
+    def test_thin_uplink_present(self, fig2):
+        # The asymmetry driving the example: s2 -> Top is thin.
+        assert fig2.capacities_gamma[3] == 0.5
+
+    def test_flows_reference_valid_pops(self, fig2):
+        for _, src, dst in fig2.flows:
+            fig2.pair.isp_a.pop(src)
+            fig2.pair.isp_b.pop(dst)

@@ -1,0 +1,62 @@
+"""Tests for repro.topology.serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.topology.builders import build_line_isp
+from repro.topology.serialization import (
+    isp_from_dict,
+    isp_to_dict,
+    load_dataset_json,
+    save_dataset_json,
+)
+
+
+class TestRoundTrip:
+    def test_single_isp(self):
+        isp = build_line_isp("rt", ["A", "B", "C"])
+        assert isp_from_dict(isp_to_dict(isp)) == isp
+
+    def test_dataset_file(self, tmp_path, tiny_dataset):
+        path = tmp_path / "ds.json"
+        save_dataset_json(tiny_dataset.isps, path)
+        loaded = load_dataset_json(path)
+        assert loaded == tiny_dataset.isps
+
+    def test_file_is_valid_json(self, tmp_path):
+        isp = build_line_isp("j", ["A", "B"])
+        path = tmp_path / "one.json"
+        save_dataset_json([isp], path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert len(payload["isps"]) == 1
+
+
+class TestErrors:
+    def test_malformed_record(self):
+        with pytest.raises(SerializationError):
+            isp_from_dict({"name": "x"})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_dataset_json(tmp_path / "absent.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all")
+        with pytest.raises(SerializationError):
+            load_dataset_json(path)
+
+    def test_missing_isps_key(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(SerializationError):
+            load_dataset_json(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps({"schema": 99, "isps": []}))
+        with pytest.raises(SerializationError):
+            load_dataset_json(path)

@@ -1,0 +1,89 @@
+"""Tests for repro.traffic (workloads and the gravity model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.geo.cities import default_city_database
+from repro.geo.population import PopulationModel
+from repro.traffic.gravity import GravityWorkload, pop_gravity_weights
+from repro.traffic.workloads import IdenticalWorkload, UniformRandomWorkload
+
+
+@pytest.fixture(scope="module")
+def population():
+    return PopulationModel(default_city_database())
+
+
+class TestIdenticalWorkload:
+    def test_constant_sizes(self, small_pair):
+        fn = IdenticalWorkload(2.5).size_fn(small_pair)
+        assert fn(0, 0) == 2.5
+        assert fn(2, 1) == 2.5
+
+    def test_bad_size(self):
+        with pytest.raises(TrafficError):
+            IdenticalWorkload(0.0)
+
+
+class TestUniformRandomWorkload:
+    def test_deterministic_per_pair(self, small_pair):
+        a = UniformRandomWorkload(seed=3).size_fn(small_pair)
+        b = UniformRandomWorkload(seed=3).size_fn(small_pair)
+        assert a(1, 2) == b(1, 2)
+
+    def test_seed_changes_sizes(self, small_pair):
+        a = UniformRandomWorkload(seed=3).size_fn(small_pair)
+        b = UniformRandomWorkload(seed=4).size_fn(small_pair)
+        values_a = [a(s, d) for s in range(3) for d in range(3)]
+        values_b = [b(s, d) for s in range(3) for d in range(3)]
+        assert values_a != values_b
+
+    def test_sizes_in_product_range(self, small_pair):
+        fn = UniformRandomWorkload(seed=1, low=0.5, high=1.5).size_fn(small_pair)
+        for s in range(3):
+            for d in range(3):
+                assert 0.25 <= fn(s, d) <= 2.25
+
+    def test_bad_range(self):
+        with pytest.raises(TrafficError):
+            UniformRandomWorkload(low=2.0, high=1.0)
+
+    def test_per_isp_weights_stable_across_pairs(self, small_pair):
+        # Weights depend on the ISP name, not the pair: the same ISP gets
+        # the same weights in any pairing.
+        fn1 = UniformRandomWorkload(seed=3).size_fn(small_pair)
+        fn2 = UniformRandomWorkload(seed=3).size_fn(small_pair.reversed())
+        # pair.reversed swaps sides, so fn2(d, s) uses (ynet, xnet) weights.
+        assert fn1(1, 2) == pytest.approx(fn2(2, 1))
+
+
+class TestGravityWorkload:
+    def test_weights_positive(self, small_pair, population):
+        w = pop_gravity_weights(small_pair.isp_a, population)
+        assert w.shape == (3,)
+        assert np.all(w > 0)
+
+    def test_mean_normalization(self, small_pair, population):
+        workload = GravityWorkload(population, mean_size=2.0)
+        matrix = workload.matrix(small_pair)
+        assert matrix.mean() == pytest.approx(2.0)
+
+    def test_skewed_by_population(self, tiny_dataset, population):
+        pairs = tiny_dataset.pairs(min_interconnections=2, max_pairs=1)
+        if not pairs:
+            pytest.skip("tiny dataset produced no pairs")
+        matrix = GravityWorkload(population).matrix(pairs[0])
+        # Gravity matrices are skewed: max well above mean.
+        assert matrix.max() > 2.0 * matrix.mean()
+
+    def test_product_form(self, small_pair, population):
+        fn = GravityWorkload(population).size_fn(small_pair)
+        # Gravity: size(s,d) * size(s',d') == size(s,d') * size(s',d).
+        lhs = fn(0, 0) * fn(2, 2)
+        rhs = fn(0, 2) * fn(2, 0)
+        assert lhs == pytest.approx(rhs)
+
+    def test_bad_mean(self, population):
+        with pytest.raises(TrafficError):
+            GravityWorkload(population, mean_size=0.0)

@@ -1,0 +1,78 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.rng import derive_rng, make_rng, spawn_seeds
+
+
+class TestMakeRng:
+    def test_none_gives_deterministic_default(self):
+        a = make_rng(None).integers(0, 1000, size=5)
+        b = make_rng(None).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_rng("seed")  # type: ignore[arg-type]
+
+    def test_numpy_integer_accepted(self):
+        assert make_rng(np.int64(5)).random() == make_rng(5).random()
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(7, "topology", "isp01").random()
+        b = derive_rng(7, "topology", "isp01").random()
+        assert a == b
+
+    def test_different_labels_differ(self):
+        a = derive_rng(7, "topology", "isp01").random()
+        b = derive_rng(7, "topology", "isp02").random()
+        assert a != b
+
+    def test_different_base_seeds_differ(self):
+        a = derive_rng(7, "x").random()
+        b = derive_rng(8, "x").random()
+        assert a != b
+
+    def test_label_types_mix(self):
+        # Labels of different types must be usable and stable.
+        a = derive_rng(1, "a", 2, 3.5).random()
+        b = derive_rng(1, "a", 2, 3.5).random()
+        assert a == b
+
+    def test_none_source(self):
+        assert derive_rng(None, "k").random() == derive_rng(None, "k").random()
+
+
+class TestSpawnSeeds:
+    def test_count_and_range(self):
+        seeds = spawn_seeds(3, 10)
+        assert len(seeds) == 10
+        assert all(0 <= s < 2**31 for s in seeds)
+
+    def test_deterministic(self):
+        assert spawn_seeds(3, 5) == spawn_seeds(3, 5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_seeds(3, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(3, 0) == []

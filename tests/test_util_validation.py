@@ -1,0 +1,62 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckFinite:
+    def test_passes_and_coerces(self):
+        assert check_finite(3, "x") == 3.0
+        assert isinstance(check_finite(3, "x"), float)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_finite(bad, "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive(bad, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-0.001, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, 1.0, 2.0, "x") == 1.0
+        assert check_in_range(2.0, 1.0, 2.0, "x") == 2.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(2.5, 1.0, 2.0, "x")
+
+
+class TestCheckProbability:
+    def test_accepts_half(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability(bad, "p")
