@@ -9,11 +9,17 @@ import numpy as np
 import pytest
 
 from repro.capacity.loads import link_loads
+from repro.capacity.provisioning import ProportionalCapacity
 from repro.core.agent import NegotiationAgent
-from repro.core.evaluators import StaticCostEvaluator
+from repro.core.evaluators import (
+    FortzCostEvaluator,
+    LoadAwareEvaluator,
+    StaticCostEvaluator,
+)
 from repro.core.mapping import AutoScaleDeltaMapper
 from repro.core.preferences import PreferenceRange
-from repro.core.session import NegotiationSession
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import ReassignEveryFraction
 from repro.optimal.bandwidth_lp import solve_min_max_load_lp
 from repro.routing.costs import build_pair_cost_table
 from repro.routing.exits import early_exit_choices
@@ -24,6 +30,15 @@ from repro.routing.paths import IntradomainRouting
 @pytest.fixture(scope="module")
 def table(sample_pair):
     return build_pair_cost_table(sample_pair, build_full_flowset(sample_pair))
+
+
+@pytest.fixture(scope="module")
+def provisioned(table):
+    """(defaults, caps_a, caps_b) for the load-dependent kernels."""
+    defaults = early_exit_choices(table)
+    caps_a = ProportionalCapacity().capacities(link_loads(table, defaults, "a"))
+    caps_b = ProportionalCapacity().capacities(link_loads(table, defaults, "b"))
+    return defaults, caps_a, caps_b
 
 
 def test_cost_table_build(benchmark, sample_pair):
@@ -70,6 +85,50 @@ def test_session_round_loop(benchmark, table):
 
     outcome = benchmark(run_session)
     assert outcome.gain_a >= 0
+
+
+def test_loadaware_reassign(benchmark, table, provisioned):
+    """Whole-matrix bandwidth-preference recompute (the 5% hot kernel)."""
+    defaults, caps_a, _ = provisioned
+    evaluator = LoadAwareEvaluator(table, "a", caps_a, defaults)
+    remaining = np.ones(table.n_flows, dtype=bool)
+
+    benchmark(evaluator.reassign, remaining)
+    assert evaluator.preferences().shape == (table.n_flows, table.n_alternatives)
+
+
+def test_fortz_reassign(benchmark, table, provisioned):
+    """Whole-matrix Fortz-cost preference recompute."""
+    defaults, caps_a, _ = provisioned
+    evaluator = FortzCostEvaluator(table, "a", caps_a, defaults)
+    remaining = np.ones(table.n_flows, dtype=bool)
+
+    benchmark(evaluator.reassign, remaining)
+    assert evaluator.preferences().shape == (table.n_flows, table.n_alternatives)
+
+
+def test_session_reassign_loop(benchmark, table, provisioned):
+    """Full bandwidth-style session: load-aware agents, reassign each 5%."""
+    defaults, caps_a, caps_b = provisioned
+
+    def run_session():
+        session = NegotiationSession(
+            NegotiationAgent(
+                "a", LoadAwareEvaluator(table, "a", caps_a, defaults)
+            ),
+            NegotiationAgent(
+                "b", LoadAwareEvaluator(table, "b", caps_b, defaults)
+            ),
+            sizes=table.flowset.sizes(),
+            defaults=defaults,
+            config=SessionConfig(
+                reassignment_policy=ReassignEveryFraction(0.05)
+            ),
+        )
+        return session.run()
+
+    outcome = benchmark(run_session)
+    assert outcome.gain_a >= 0 and outcome.gain_b >= 0
 
 
 def test_link_load_accumulation(benchmark, table):

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Emit ``BENCH_core.json``: legacy vs vectorized timings of the hot kernels.
+
+A lightweight, dependency-free companion to ``bench_core_micro.py``: each
+kernel runs a few times under ``time.perf_counter`` (best-of-N, no
+statistics machinery) in both engines, and the resulting before/after
+numbers are written as JSON. The committed file is the performance
+baseline referenced by the ROADMAP; regenerate it after touching a hot
+kernel with::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py
+
+Scales with ``REPRO_BENCH_PRESET`` (quick / bench / paper) like the figure
+benchmarks; the committed baseline uses the default ``bench`` preset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.capacity.loads import link_loads
+from repro.capacity.provisioning import ProportionalCapacity
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import FortzCostEvaluator, LoadAwareEvaluator
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import ReassignEveryFraction
+from repro.experiments.config import ExperimentConfig
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices
+from repro.routing.flows import build_full_flowset
+from repro.topology.dataset import build_default_dataset
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def _preset() -> tuple[str, ExperimentConfig]:
+    name = os.environ.get("REPRO_BENCH_PRESET", "bench")
+    factory = {
+        "quick": ExperimentConfig.quick,
+        "bench": ExperimentConfig.bench,
+        "paper": ExperimentConfig.paper,
+    }.get(name)
+    if factory is None:
+        raise ValueError(f"unknown REPRO_BENCH_PRESET {name!r}")
+    return name, factory()
+
+
+def _sample_table(config: ExperimentConfig):
+    """The mid-size >=3-interconnection pair (same pick as the benchmarks)."""
+    dataset = build_default_dataset(config.dataset)
+    pairs = dataset.pairs(min_interconnections=3, max_pairs=None)
+    pairs.sort(key=lambda p: p.isp_a.n_pops() * p.isp_b.n_pops())
+    pair = pairs[len(pairs) // 2]
+    return build_pair_cost_table(pair, build_full_flowset(pair))
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(output: Path = DEFAULT_OUTPUT) -> dict:
+    preset_name, config = _preset()
+    table = _sample_table(config)
+    defaults = early_exit_choices(table)
+    caps_a = ProportionalCapacity().capacities(link_loads(table, defaults, "a"))
+    caps_b = ProportionalCapacity().capacities(link_loads(table, defaults, "b"))
+    remaining = np.ones(table.n_flows, dtype=bool)
+    table.incidence("a")
+    table.incidence("b")  # pay the one-time compilation outside the timers
+
+    def evaluator_reassign(cls, engine):
+        evaluator = cls(table, "a", caps_a, defaults, engine=engine)
+        return lambda: evaluator.reassign(remaining)
+
+    def session_run(engine, incremental):
+        def run():
+            session = NegotiationSession(
+                NegotiationAgent(
+                    "a",
+                    LoadAwareEvaluator(table, "a", caps_a, defaults,
+                                       engine=engine),
+                ),
+                NegotiationAgent(
+                    "b",
+                    LoadAwareEvaluator(table, "b", caps_b, defaults,
+                                       engine=engine),
+                ),
+                sizes=table.flowset.sizes(),
+                defaults=defaults,
+                config=SessionConfig(
+                    reassignment_policy=ReassignEveryFraction(0.05),
+                    incremental_proposals=incremental,
+                ),
+            )
+            return session.run()
+
+        return run
+
+    benches = {
+        "link_loads": (
+            lambda: link_loads(table, defaults, "a"),
+            lambda: link_loads(table, defaults, "a", engine="legacy"),
+            20,
+        ),
+        "loadaware_reassign": (
+            evaluator_reassign(LoadAwareEvaluator, "sparse"),
+            evaluator_reassign(LoadAwareEvaluator, "legacy"),
+            10,
+        ),
+        "fortz_reassign": (
+            evaluator_reassign(FortzCostEvaluator, "sparse"),
+            evaluator_reassign(FortzCostEvaluator, "legacy"),
+            10,
+        ),
+        "session_reassign_loadaware": (
+            session_run("sparse", None),
+            session_run("legacy", False),
+            3,
+        ),
+    }
+
+    results = {}
+    for name, (vectorized, legacy, repeats) in benches.items():
+        v = _best_of(vectorized, repeats)
+        l = _best_of(legacy, repeats)
+        results[name] = {
+            "vectorized_s": round(v, 6),
+            "legacy_s": round(l, 6),
+            "speedup": round(l / v, 2) if v > 0 else None,
+        }
+        print(f"{name:30s} legacy {l * 1e3:9.2f} ms   "
+              f"vectorized {v * 1e3:9.2f} ms   {l / v:6.1f}x")
+
+    report = {
+        "preset": preset_name,
+        "fixture": {
+            "pair": table.pair.name,
+            "n_flows": table.n_flows,
+            "n_alternatives": table.n_alternatives,
+            "n_links_a": table.pair.isp_a.n_links(),
+            "n_links_b": table.pair.isp_b.n_links(),
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benches": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return report
+
+
+if __name__ == "__main__":
+    main(Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUTPUT)

@@ -47,6 +47,12 @@ def _preset() -> ExperimentConfig:
     return factory()
 
 
+def _workers() -> int | None:
+    """Sweep parallelism: REPRO_BENCH_WORKERS=N (-1 = one per CPU)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    return int(raw) if raw else None
+
+
 def emit(text: str) -> None:
     """Print a figure report through pytest's capture and into a file.
 
@@ -89,7 +95,9 @@ def workload(dataset):
 @pytest.fixture(scope="session")
 def distance_results(config):
     """The full Section 5.1 sweep (Figures 4, 5, 6, 10)."""
-    return run_distance_experiment(config, include_cheating=True)
+    return run_distance_experiment(
+        config, include_cheating=True, workers=_workers()
+    )
 
 
 @pytest.fixture(scope="session")
@@ -100,6 +108,7 @@ def bandwidth_results(config):
         include_unilateral=True,
         include_cheating=True,
         include_diverse=True,
+        workers=_workers(),
     )
 
 

@@ -4,6 +4,19 @@ Given a :class:`~repro.routing.costs.PairCostTable` and a placement (one
 interconnection index per flow), these helpers accumulate per-link loads in
 each ISP. :class:`LoadTracker` supports the incremental updates the
 negotiation engine needs during preference reassignment.
+
+Two engines implement every kernel:
+
+* ``"sparse"`` (default) — batched array expressions over the table's
+  compiled :class:`~repro.routing.incidence.PathIncidence` (one
+  ``bincount`` scatter-add for a whole placement, one segment-max pass for
+  a whole preference matrix);
+* ``"legacy"`` — the original per-flow/per-link Python loops, kept for the
+  equivalence tests that pin the vectorized kernels bit-for-bit.
+
+The sparse engine accumulates floats in exactly the order the legacy loops
+do (flows ascending, links in path order), so the two engines agree
+exactly, not just approximately.
 """
 
 from __future__ import annotations
@@ -12,8 +25,11 @@ import numpy as np
 
 from repro.errors import CapacityError
 from repro.routing.costs import PairCostTable
+from repro.routing.incidence import segment_max
 
 __all__ = ["link_loads", "pair_link_loads", "LoadTracker"]
+
+_ENGINES = ("sparse", "legacy")
 
 
 def _validate_choices(table: PairCostTable, choices: np.ndarray) -> np.ndarray:
@@ -27,17 +43,28 @@ def _validate_choices(table: PairCostTable, choices: np.ndarray) -> np.ndarray:
     return choices
 
 
+def _validate_engine(engine: str) -> str:
+    if engine not in _ENGINES:
+        raise CapacityError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    return engine
+
+
 def link_loads(
     table: PairCostTable,
     choices: np.ndarray,
     side: str,
     active: np.ndarray | None = None,
+    engine: str = "sparse",
 ) -> np.ndarray:
     """Per-link loads in one ISP ('a' = upstream, 'b' = downstream).
 
     ``active`` optionally masks which flows are placed (default: all).
+    ``engine="sparse"`` computes the whole placement in one scatter-add;
+    ``engine="legacy"`` runs the original Python loop (same result, kept
+    for equivalence testing).
     """
     choices = _validate_choices(table, choices)
+    _validate_engine(engine)
     if side == "a":
         n_links = table.pair.isp_a.n_links()
         link_table = table.up_links
@@ -48,6 +75,9 @@ def link_loads(
         raise CapacityError(f"side must be 'a' or 'b', got {side!r}")
 
     sizes = table.flowset.sizes()
+    if engine == "sparse":
+        return table.incidence(side).accumulate_loads(choices, sizes, active)
+
     loads = np.zeros(n_links)
     for flow in table.flowset:
         if active is not None and not active[flow.index]:
@@ -61,11 +91,12 @@ def pair_link_loads(
     table: PairCostTable,
     choices: np.ndarray,
     active: np.ndarray | None = None,
+    engine: str = "sparse",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Loads in both ISPs: ``(loads_a, loads_b)``."""
     return (
-        link_loads(table, choices, "a", active),
-        link_loads(table, choices, "b", active),
+        link_loads(table, choices, "a", active, engine=engine),
+        link_loads(table, choices, "b", active, engine=engine),
     )
 
 
@@ -76,10 +107,16 @@ class LoadTracker:
     5% of the traffic", which requires evaluating alternatives against the
     *current* expected network state: background (unaffected) flows plus
     flows already negotiated. A tracker holds that state.
+
+    Besides the single-(flow, alternative) peeks, the tracker exposes the
+    batch kernels the vectorized evaluators are built on:
+    :meth:`peek_max_ratio_all` (one flow, all alternatives) and
+    :meth:`peek_max_ratio_matrix` (all remaining flows at once).
     """
 
     def __init__(self, table: PairCostTable, side: str,
-                 base_loads: np.ndarray | None = None):
+                 base_loads: np.ndarray | None = None,
+                 engine: str = "sparse"):
         if side == "a":
             n_links = table.pair.isp_a.n_links()
             self._link_table = table.up_links
@@ -88,7 +125,9 @@ class LoadTracker:
             self._link_table = table.down_links
         else:
             raise CapacityError(f"side must be 'a' or 'b', got {side!r}")
+        self.engine = _validate_engine(engine)
         self._table = table
+        self._incidence = table.incidence(side) if engine == "sparse" else None
         self._sizes = table.flowset.sizes()
         if base_loads is None:
             self._loads = np.zeros(n_links)
@@ -105,13 +144,34 @@ class LoadTracker:
         """Current loads (copy; mutate only through place/remove)."""
         return self._loads.copy()
 
+    def loads_view(self) -> np.ndarray:
+        """The internal load array itself — read-only by convention.
+
+        Hot kernels (the evaluators' recompute) read this instead of the
+        copying :attr:`loads` property; callers must not mutate it.
+        """
+        return self._loads
+
+    def _links(self, flow_index: int, alternative: int) -> np.ndarray:
+        if self._incidence is not None:
+            return self._incidence.row_links(flow_index, alternative)
+        return self._link_table[flow_index][alternative]
+
     def place(self, flow_index: int, alternative: int) -> None:
         """Add one flow's load along its path for ``alternative``."""
+        if self._incidence is not None:
+            links = self._incidence.row_links(flow_index, alternative)
+            np.add.at(self._loads, links, self._sizes[flow_index])
+            return
         for li in self._link_table[flow_index][alternative]:
             self._loads[li] += self._sizes[flow_index]
 
     def remove(self, flow_index: int, alternative: int) -> None:
         """Remove a previously placed flow (inverse of :meth:`place`)."""
+        if self._incidence is not None:
+            links = self._incidence.row_links(flow_index, alternative)
+            np.subtract.at(self._loads, links, self._sizes[flow_index])
+            return
         for li in self._link_table[flow_index][alternative]:
             self._loads[li] -= self._sizes[flow_index]
 
@@ -124,9 +184,71 @@ class LoadTracker:
         increase in link load along the path". Returns 0.0 for an empty
         path (source at the interconnection).
         """
-        links = self._link_table[flow_index][alternative]
+        links = self._links(flow_index, alternative)
         if len(links) == 0:
             return 0.0
         size = self._sizes[flow_index]
         ratios = (self._loads[links] + size) / capacities[links]
         return float(ratios.max())
+
+    # -- batch kernels (sparse engine) ---------------------------------------
+
+    def peek_max_ratio_all(
+        self, flow_index: int, capacities: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`peek_max_ratio` for every alternative of one flow, (I,)."""
+        if self._incidence is None:
+            return np.asarray(
+                [
+                    self.peek_max_ratio(flow_index, i, capacities)
+                    for i in range(self._table.n_alternatives)
+                ]
+            )
+        inc = self._incidence
+        n_alt = inc.n_alternatives
+        start = inc.indptr[flow_index * n_alt]
+        end = inc.indptr[(flow_index + 1) * n_alt]
+        links = inc.indices[start:end]
+        ratios = (self._loads[links] + self._sizes[flow_index]) / capacities[links]
+        ptr = inc.indptr[flow_index * n_alt : (flow_index + 1) * n_alt + 1] - start
+        return segment_max(ratios, ptr)
+
+    def peek_max_ratio_block(
+        self, flows: np.ndarray, capacities: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`peek_max_ratio` for all alternatives of ``flows``, (K, I).
+
+        The compact form of :meth:`peek_max_ratio_matrix` — row ``k`` is
+        flow ``flows[k]`` — computed in one gather + one segment-max pass.
+        The per-entry float operations are identical to the scalar peeks,
+        so the rows match them exactly.
+        """
+        flows = np.asarray(flows, dtype=np.intp)
+        n_alt = self._table.n_alternatives
+        if not flows.size:
+            return np.zeros((0, n_alt))
+        if self._incidence is None:
+            return np.stack(
+                [self.peek_max_ratio_all(int(f), capacities) for f in flows]
+            )
+        inc = self._incidence
+        positions, row_ptr = inc.flow_entries(flows)
+        links = inc.indices[positions]
+        ratios = (
+            self._loads[links] + self._sizes[inc.entry_flow[positions]]
+        ) / capacities[links]
+        return segment_max(ratios, row_ptr).reshape(flows.size, n_alt)
+
+    def peek_max_ratio_matrix(
+        self, remaining: np.ndarray, capacities: np.ndarray
+    ) -> np.ndarray:
+        """The (F, I) matrix of :meth:`peek_max_ratio` for remaining flows.
+
+        Rows of flows outside ``remaining`` are left at 0.0.
+        """
+        remaining = np.asarray(remaining, dtype=bool)
+        out = np.zeros((self._table.n_flows, self._table.n_alternatives))
+        flows = np.flatnonzero(remaining)
+        if flows.size:
+            out[flows] = self.peek_max_ratio_block(flows, capacities)
+        return out

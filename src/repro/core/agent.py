@@ -21,6 +21,13 @@ __all__ = ["NegotiationAgent"]
 class NegotiationAgent:
     """One ISP's side of a Nexit session."""
 
+    #: Disclosed preferences are stable between reassignments, so the
+    #: session may cache structures derived from them across rounds (the
+    #: incremental proposal scoreboard). Subclasses whose
+    #: ``disclosed_preferences`` varies round-to-round for other reasons
+    #: must set this to False to keep the session on the rescanning path.
+    disclosure_changes_only_on_reassign = True
+
     def __init__(
         self,
         name: str,

@@ -13,6 +13,14 @@ recent concessions are rolled back ("the ISP can partially or fully rollback
 the compromises made", Section 6) until both sides are at or above the
 default. With truthful agents and early termination this rarely triggers,
 but it makes the no-loss property structural rather than statistical.
+
+Performance: with the stock MaxCombined proposal rule the engine keeps the
+candidate combined-preference scores in an incremental scoreboard (see
+:class:`~repro.core.strategies.CombinedScoreboard`) — per round it touches
+only what a ban or reassignment changed instead of rescanning the (F, I)
+matrix, taking the session loop from O(F²·I) toward O(F·I). Outcomes are
+identical to the rescanning path (``SessionConfig.incremental_proposals=False``
+forces the rescanning loop; the equivalence tests compare the two exactly).
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.core.messages import (
 from repro.core.outcomes import NegotiationOutcome, RoundRecord, TerminationReason
 from repro.core.strategies import (
     AlternatingTurns,
+    CombinedScoreboard,
     MaxCombinedProposals,
     ProposalPolicy,
     ReassignNever,
@@ -66,6 +75,16 @@ class SessionConfig:
             preference classes.
         max_rounds: safety valve (default: flows + slack).
         record_messages: keep a full wire-message transcript.
+        incremental_proposals: maintain candidate combined-preference
+            scores incrementally across rounds (update only what a ban or
+            reassignment changes) instead of rescanning the full (F, I)
+            matrix every round. ``None``/``True`` enable the incremental
+            path only when it is safe — the proposal policy is exactly
+            :class:`MaxCombinedProposals` and both agents declare stable
+            disclosure between reassignments — falling back to rescanning
+            otherwise; ``False`` always forces the legacy rescanning loop
+            (equivalence tests, benchmarks). Outcomes are identical either
+            way.
     """
 
     turn_policy: TurnPolicy = field(default_factory=AlternatingTurns)
@@ -75,6 +94,7 @@ class SessionConfig:
     rollback_floors: tuple[float, float] = (0.0, 0.0)
     max_rounds: int | None = None
     record_messages: bool = False
+    incremental_proposals: bool | None = None
 
     def __post_init__(self) -> None:
         if len(self.rollback_floors) != 2:
@@ -174,6 +194,23 @@ class NegotiationSession:
         self.agent_b.reset()
         self._advertise_initial()
 
+        # Incremental proposal scoring: when the proposal policy is the
+        # stock MaxCombined rule and disclosures only change on
+        # reassignment, candidate combined scores are maintained across
+        # rounds (O(F) per round) instead of rescanned (O(F·I) per round).
+        use_scoreboard = cfg.incremental_proposals
+        if use_scoreboard is None or use_scoreboard:
+            use_scoreboard = (
+                type(cfg.proposal_policy) is MaxCombinedProposals
+                and getattr(
+                    self.agent_a, "disclosure_changes_only_on_reassign", False
+                )
+                and getattr(
+                    self.agent_b, "disclosure_changes_only_on_reassign", False
+                )
+            )
+        scoreboard: CombinedScoreboard | None = None
+
         reason = TerminationReason.EXHAUSTED
         round_index = 0
         while remaining.any():
@@ -212,10 +249,17 @@ class NegotiationSession:
             own, other = (prefs_a, prefs_b) if proposer == 0 else (prefs_b, prefs_a)
 
             # Propose an alternative.
-            candidates = remaining[:, np.newaxis] & ~banned
-            pick = cfg.proposal_policy.propose(
-                own, other, candidates, allow_zero=reassignable
-            )
+            if use_scoreboard:
+                if scoreboard is None:
+                    scoreboard = CombinedScoreboard(prefs_a, prefs_b, banned)
+                pick = scoreboard.propose(
+                    proposer, remaining, allow_zero=reassignable
+                )
+            else:
+                candidates = remaining[:, np.newaxis] & ~banned
+                pick = cfg.proposal_policy.propose(
+                    own, other, candidates, allow_zero=reassignable
+                )
             if pick is None:
                 reason = TerminationReason.NO_JOINT_GAIN
                 break
@@ -261,6 +305,8 @@ class NegotiationSession:
                     )
                 )
                 banned[flow_index, alternative] = True
+                if scoreboard is not None:
+                    scoreboard.note_ban(flow_index)
                 round_index += 1
                 continue
             self._record(
@@ -300,6 +346,7 @@ class NegotiationSession:
                 self.agent_b.reassign(remaining)
                 cfg.reassignment_policy.mark_reassigned(negotiated_size)
                 reassignments += 1
+                scoreboard = None  # disclosures changed; rebuild lazily
                 if cfg.record_messages:
                     for sender_name, agent in (("a", self.agent_a),
                                                ("b", self.agent_b)):

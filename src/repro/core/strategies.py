@@ -39,6 +39,7 @@ __all__ = [
     "ProposalPolicy",
     "MaxCombinedProposals",
     "BestLocalProposals",
+    "CombinedScoreboard",
     "AcceptancePolicy",
     "AlwaysAccept",
     "VetoIfWorseThanDefault",
@@ -170,6 +171,72 @@ class MaxCombinedProposals:
         if not viable.any():
             return None
         return _masked_argmax(combined, own, viable)
+
+
+class CombinedScoreboard:
+    """Incremental candidate scores for :class:`MaxCombinedProposals`.
+
+    Rescanning the full (F, I) combined-preference matrix every round makes
+    a session O(F²·I). The scoreboard maintains the combined matrix and a
+    per-row maximum over non-banned cells, so each round costs O(F) for the
+    global maximum plus O(I) per row that actually changes:
+
+    * a rejected proposal (``note_ban``) recomputes one row's maximum;
+    * a committed flow needs no update (it leaves via the ``remaining``
+      mask the caller passes to :meth:`propose`);
+    * a preference reassignment invalidates everything — callers drop the
+      scoreboard and build a fresh one (disclosed preferences only change
+      on reassignment; see
+      ``NegotiationAgent.disclosure_changes_only_on_reassign``).
+
+    :meth:`propose` is decision-equivalent to
+    ``MaxCombinedProposals.propose`` — same argmax, same tie-breaks, same
+    ``None`` conditions — which the equivalence tests assert on whole
+    session outcomes.
+    """
+
+    _SENTINEL = np.iinfo(np.int64).min // 2
+
+    def __init__(self, prefs_a: np.ndarray, prefs_b: np.ndarray,
+                 banned: np.ndarray):
+        self._prefs_a = np.asarray(prefs_a, dtype=np.int64)
+        self._prefs_b = np.asarray(prefs_b, dtype=np.int64)
+        self._combined = self._prefs_a + self._prefs_b
+        self._banned = banned  # the session's live mask, mutated in place
+        masked = np.where(banned, self._SENTINEL, self._combined)
+        self._row_best = masked.max(axis=1, initial=self._SENTINEL)
+
+    def note_ban(self, flow_index: int) -> None:
+        """Refresh one row's best after the caller banned a cell in it."""
+        row_banned = self._banned[flow_index]
+        if row_banned.all():
+            self._row_best[flow_index] = self._SENTINEL
+        else:
+            self._row_best[flow_index] = self._combined[flow_index][
+                ~row_banned
+            ].max()
+
+    def propose(
+        self,
+        proposer: int,
+        remaining: np.ndarray,
+        allow_zero: bool = False,
+    ) -> tuple[int, int] | None:
+        """The MaxCombined pick for this round's proposer (0 = A, 1 = B)."""
+        if not remaining.any():
+            return None
+        best = int(self._row_best[remaining].max())
+        floor = 0 if allow_zero else 1
+        if best < floor:
+            return None
+        rows = np.flatnonzero(remaining & (self._row_best == best))
+        sub_combined = self._combined[rows]
+        at_best = (sub_combined == best) & ~self._banned[rows]
+        own = (self._prefs_a if proposer == 0 else self._prefs_b)[rows]
+        best_tie = np.where(at_best, own, self._SENTINEL).max()
+        final = at_best & (own == best_tie)
+        r, c = np.nonzero(final)
+        return int(rows[r[0]]), int(c[0])
 
 
 class BestLocalProposals:

@@ -34,6 +34,11 @@ from repro.core.session import NegotiationSession, SessionConfig
 from repro.core.strategies import ReassignEveryFraction
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    _bandwidth_pair_worker,
+    parallel_map,
+    resolve_workers,
+)
 from repro.geo.cities import default_city_database
 from repro.geo.population import PopulationModel
 from repro.metrics.mel import max_excess_load
@@ -53,6 +58,7 @@ __all__ = [
     "BandwidthExperimentResult",
     "run_bandwidth_case",
     "run_bandwidth_experiment",
+    "run_pair_cases",
 ]
 
 _EPS = 1e-9
@@ -246,6 +252,26 @@ def _negotiate_bandwidth_iterated(
     return current
 
 
+def run_pair_cases(
+    pair: IspPair,
+    config: ExperimentConfig,
+    flags: dict,
+    workload,
+    provisioner: ProportionalCapacity | None = None,
+) -> list["BandwidthCaseResult"]:
+    """All failure cases of one pair, sharing the pair's precomputation.
+
+    The single per-pair unit of the experiment sweep — both the serial
+    loop and the parallel workers call exactly this, so the two paths
+    cannot drift apart.
+    """
+    context = _build_context(pair, workload, provisioner)
+    n_fail = pair.n_interconnections()
+    if config.max_failures_per_pair is not None:
+        n_fail = min(n_fail, config.max_failures_per_pair)
+    return [run_bandwidth_case(context, k, config, **flags) for k in range(n_fail)]
+
+
 def run_bandwidth_case(
     context_or_pair,
     failed_ic_index: int,
@@ -435,34 +461,44 @@ def run_bandwidth_experiment(
     include_diverse: bool = False,
     workload=None,
     provisioner: ProportionalCapacity | None = None,
+    workers: int | None = None,
 ) -> BandwidthExperimentResult:
     """Run the Section 5.2 experiment over the configured dataset.
 
     ``workload`` and ``provisioner`` default to the paper's primary models
     (gravity traffic, capacity proportional to pre-failure load with
     median fill-in); pass alternates for the robustness sweeps.
+
+    ``workers`` parallelizes across processes at pair granularity (each
+    worker handles all failure cases of its pair, sharing the pair's
+    precomputed context). Results are collected in (pair, failure) order,
+    so any worker count produces identical results; custom ``workload`` /
+    ``provisioner`` objects must be picklable when ``workers > 1``.
     """
     config = config or ExperimentConfig()
     dataset = build_default_dataset(config.dataset)
     pairs = dataset.pairs(
         min_interconnections=3, max_pairs=config.max_pairs_bandwidth
     )
-    workload = workload or GravityWorkload(PopulationModel(dataset.city_db))
     result = BandwidthExperimentResult()
+    flags = dict(
+        include_unilateral=include_unilateral,
+        include_cheating=include_cheating,
+        include_diverse=include_diverse,
+    )
+    if resolve_workers(workers) > 1:
+        payloads = [
+            (config, i, flags, workload, provisioner)
+            for i in range(len(pairs))
+        ]
+        for cases in parallel_map(
+            _bandwidth_pair_worker, payloads, workers=workers
+        ):
+            result.cases.extend(cases)
+        return result
+    workload = workload or GravityWorkload(PopulationModel(dataset.city_db))
     for pair in pairs:
-        context = _build_context(pair, workload, provisioner)
-        n_fail = pair.n_interconnections()
-        if config.max_failures_per_pair is not None:
-            n_fail = min(n_fail, config.max_failures_per_pair)
-        for k in range(n_fail):
-            result.cases.append(
-                run_bandwidth_case(
-                    context,
-                    k,
-                    config,
-                    include_unilateral=include_unilateral,
-                    include_cheating=include_cheating,
-                    include_diverse=include_diverse,
-                )
-            )
+        result.cases.extend(
+            run_pair_cases(pair, config, flags, workload, provisioner)
+        )
     return result

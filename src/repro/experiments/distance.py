@@ -31,6 +31,11 @@ from repro.core.mapping import AutoScaleDeltaMapper
 from repro.core.preferences import PreferenceRange
 from repro.core.session import NegotiationSession, SessionConfig
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    _distance_pair_worker,
+    parallel_map,
+    resolve_workers,
+)
 from repro.metrics.distance import percent_gain
 from repro.routing.costs import PairCostTable, build_pair_cost_table
 from repro.routing.exits import early_exit_choices, optimal_exit_choices
@@ -338,18 +343,31 @@ class DistanceExperimentResult:
 def run_distance_experiment(
     config: ExperimentConfig | None = None,
     include_cheating: bool = False,
+    workers: int | None = None,
 ) -> DistanceExperimentResult:
-    """Run the Section 5.1 experiment over the configured dataset."""
+    """Run the Section 5.1 experiment over the configured dataset.
+
+    ``workers`` parallelizes the sweep across processes at pair
+    granularity (``None``/0/1 = serial, negative = one per CPU). Each pair
+    is an independent, config-seeded computation and results are collected
+    in pair order, so any worker count produces identical results.
+    """
     config = config or ExperimentConfig()
     dataset = build_default_dataset(config.dataset)
     pairs = dataset.pairs(
         min_interconnections=2, max_pairs=config.max_pairs_distance
     )
     result = DistanceExperimentResult()
-    for pair in pairs:
-        result.pairs.append(
-            run_distance_pair(pair, config, include_cheating=include_cheating)
+    if resolve_workers(workers) > 1:
+        payloads = [(config, i, include_cheating) for i in range(len(pairs))]
+        result.pairs = parallel_map(
+            _distance_pair_worker, payloads, workers=workers
         )
+    else:
+        for pair in pairs:
+            result.pairs.append(
+                run_distance_pair(pair, config, include_cheating=include_cheating)
+            )
     return result
 
 

@@ -1,0 +1,126 @@
+"""Process-parallel figure sweeps.
+
+The figure experiments iterate independent units of work — one ISP pair
+(distance) or one pair's failure set (bandwidth) — and every unit is a pure
+function of the experiment config, so the sweeps parallelize trivially.
+This module provides the shared machinery:
+
+* :func:`resolve_workers` — normalize a ``workers`` argument (``None``/0/1
+  = serial, negative = one per CPU);
+* :func:`parallel_map` — ordered :class:`~concurrent.futures.ProcessPoolExecutor`
+  map with a serial fast path;
+* picklable worker functions for the distance and bandwidth sweeps that
+  rebuild the dataset *inside* the worker process (cached per process), so
+  payloads are tiny (config + indices) and nothing unpicklable — routing
+  caches, size-function closures — ever crosses the process boundary.
+
+**Determinism contract:** results are returned in submission order and
+each unit's computation is independent and seeded by the config, so
+``workers=N`` produces results identical to ``workers=1`` for any ``N``.
+The equivalence tests assert this.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from functools import lru_cache
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.experiments.config import ExperimentConfig
+from repro.topology.dataset import build_default_dataset
+
+__all__ = ["resolve_workers", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` argument to an explicit process count.
+
+    ``None``, 0 and 1 mean serial; a negative value means one worker per
+    available CPU; anything else is taken literally.
+    """
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    payloads: Sequence[T] | Iterable[T],
+    workers: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Ordered map over ``payloads``, optionally across processes.
+
+    With ``resolve_workers(workers) <= 1`` this is a plain list
+    comprehension (no executor, no pickling). Otherwise ``fn`` must be a
+    module-level function and each payload picklable; results come back in
+    submission order regardless of which worker finished first.
+    """
+    n_workers = resolve_workers(workers)
+    payloads = list(payloads)
+    if n_workers <= 1 or len(payloads) <= 1:
+        return [fn(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(payloads))) as pool:
+        return list(pool.map(fn, payloads, chunksize=chunksize))
+
+
+# ---------------------------------------------------------------------------
+# Per-process dataset cache
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4)
+def _cached_pairs(config: ExperimentConfig, min_interconnections: int,
+                  max_pairs: int | None):
+    """The experiment's qualifying pair list, built once per process.
+
+    ``ExperimentConfig`` is frozen/hashable, and dataset generation is
+    deterministic in its seeds, so every process derives the identical
+    pair list from the same config.
+    """
+    dataset = build_default_dataset(config.dataset)
+    return dataset, dataset.pairs(
+        min_interconnections=min_interconnections, max_pairs=max_pairs
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sweep workers (top-level, hence picklable)
+# ---------------------------------------------------------------------------
+
+
+def _distance_pair_worker(payload):
+    """One distance-experiment pair: (config, pair_index, include_cheating)."""
+    from repro.experiments.distance import run_distance_pair
+
+    config, pair_index, include_cheating = payload
+    _, pairs = _cached_pairs(config, 2, config.max_pairs_distance)
+    return run_distance_pair(
+        pairs[pair_index], config, include_cheating=include_cheating
+    )
+
+
+def _bandwidth_pair_worker(payload):
+    """All failure cases of one bandwidth-experiment pair.
+
+    Payload: ``(config, pair_index, flags_dict, workload, provisioner)``.
+    ``workload``/``provisioner`` are ``None`` for the defaults (rebuilt
+    here from the dataset, avoiding pickling); custom objects are passed
+    through and must be picklable. The per-pair work itself is
+    ``run_pair_cases`` — the same function the serial sweep calls.
+    """
+    from repro.experiments.bandwidth import run_pair_cases
+    from repro.geo.population import PopulationModel
+    from repro.traffic.gravity import GravityWorkload
+
+    config, pair_index, flags, workload, provisioner = payload
+    dataset, pairs = _cached_pairs(config, 3, config.max_pairs_bandwidth)
+    pair = pairs[pair_index]
+    workload = workload or GravityWorkload(PopulationModel(dataset.city_db))
+    return run_pair_cases(pair, config, flags, workload, provisioner)

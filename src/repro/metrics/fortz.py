@@ -13,7 +13,13 @@ import numpy as np
 
 from repro.errors import CapacityError
 
-__all__ = ["piecewise_link_cost", "fortz_thorup_cost", "BREAKPOINTS", "SLOPES"]
+__all__ = [
+    "piecewise_link_cost",
+    "piecewise_link_cost_array",
+    "fortz_thorup_cost",
+    "BREAKPOINTS",
+    "SLOPES",
+]
 
 #: Utilization breakpoints of the standard Fortz–Thorup cost.
 BREAKPOINTS: tuple[float, ...] = (0.0, 1 / 3, 2 / 3, 9 / 10, 1.0, 11 / 10)
@@ -44,6 +50,32 @@ def piecewise_link_cost(load: float, capacity: float) -> float:
         cost += SLOPES[seg] * span
     # Scale by capacity so that cost is in load units, the standard form.
     return cost * capacity
+
+
+def piecewise_link_cost_array(
+    loads: np.ndarray, capacities: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`piecewise_link_cost` over parallel load/cap arrays.
+
+    Accumulates the segment terms in the same order as the scalar loop;
+    segments the utilization has not reached contribute an exact ``+0.0``,
+    so the result is bit-identical to calling the scalar function
+    element-wise.
+    """
+    loads = np.asarray(loads, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if capacities.size and capacities.min() <= 0:
+        raise CapacityError("capacities must be > 0")
+    if loads.size and loads.min() < 0:
+        raise CapacityError("loads must be >= 0")
+    utilization = loads / capacities
+    cost = np.zeros(utilization.shape)
+    for seg in range(len(SLOPES)):
+        seg_start = BREAKPOINTS[seg]
+        seg_end = BREAKPOINTS[seg + 1] if seg + 1 < len(BREAKPOINTS) else np.inf
+        span = np.minimum(utilization, seg_end) - seg_start
+        cost += SLOPES[seg] * np.maximum(span, 0.0)
+    return cost * capacities
 
 
 def fortz_thorup_cost(loads: np.ndarray, capacities: np.ndarray) -> float:

@@ -12,6 +12,12 @@ precomputed tables: for each flow ``f`` and each interconnection ``i``,
   by the bandwidth/load machinery.
 
 Building the table costs one Dijkstra per interconnection per side.
+
+The ragged link tables are the *authoring* format; the load/preference hot
+path consumes their compiled CSR form instead — see :meth:`PairCostTable.incidence`
+and :mod:`repro.routing.incidence`. The incidence structures are built
+lazily on first use and cached per (table, side), so tables that never
+touch the bandwidth machinery pay nothing.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import numpy as np
 
 from repro.errors import RoutingError
 from repro.routing.flows import FlowSet
+from repro.routing.incidence import PathIncidence
 from repro.routing.paths import IntradomainRouting
 from repro.topology.interconnect import IspPair
 
@@ -56,6 +63,29 @@ class PairCostTable:
     @property
     def n_alternatives(self) -> int:
         return self.up_weight.shape[1]
+
+    def incidence(self, side: str) -> PathIncidence:
+        """The compiled CSR path incidence for one side ('a' or 'b').
+
+        Built lazily from ``up_links``/``down_links`` on first request and
+        cached on the table (the table is immutable, so the compilation
+        never invalidates). All vectorized load kernels go through this.
+        """
+        if side == "a":
+            attr, link_table = "_incidence_a", self.up_links
+            n_links = self.pair.isp_a.n_links()
+        elif side == "b":
+            attr, link_table = "_incidence_b", self.down_links
+            n_links = self.pair.isp_b.n_links()
+        else:
+            raise RoutingError(f"side must be 'a' or 'b', got {side!r}")
+        cached = self.__dict__.get(attr)
+        if cached is None:
+            cached = PathIncidence.from_link_table(
+                link_table, n_links, self.n_alternatives
+            )
+            object.__setattr__(self, attr, cached)
+        return cached
 
     def total_km(self) -> np.ndarray:
         """End-to-end geographic cost per alternative: up + peering + down."""

@@ -1,0 +1,236 @@
+"""Sparse path-incidence engine: CSR link incidence for the load hot path.
+
+The bandwidth machinery repeatedly asks "which links does flow ``f`` cross
+under alternative ``i``, and what happens to their loads?". The ragged
+``up_links``/``down_links`` tables on :class:`~repro.routing.costs.PairCostTable`
+answer that one (flow, alternative) at a time, which forces Python-level
+loops in every hot kernel (load accumulation, preference recomputation).
+
+:class:`PathIncidence` compiles one side's ragged link table into a
+CSR-style sparse incidence structure over the flattened row space
+``row = flow * n_alternatives + alternative``:
+
+* ``indptr``  — ``(F*I + 1,)`` row pointers;
+* ``indices`` — ``(nnz,)`` link ids, concatenated in (flow, alternative)
+  row-major order, each row's links in path order;
+* ``entry_flow`` — ``(nnz,)`` the flow id of every entry (for per-flow
+  weights such as flow sizes).
+
+Because a flow's ``I`` rows are contiguous, per-flow batches (all
+alternatives of a set of flows) gather as contiguous entry ranges, and the
+whole load/preference pipeline becomes a handful of array expressions:
+scatter-adds via :func:`numpy.bincount` and segment reductions via
+:func:`segment_max` / :func:`segment_sum`.
+
+**Bit-exactness contract.** Entries are stored in exactly the order the
+legacy Python loops visit them (flows ascending, path order within a row),
+and the segment reductions below accumulate sequentially in that order
+(``bincount`` adds entries one by one; ``maximum`` is order-independent).
+Every vectorized kernel built on this module therefore produces
+*bit-identical* floats to its legacy loop counterpart — the equivalence
+tests assert ``==``, not ``allclose``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RoutingError
+
+__all__ = ["PathIncidence", "segment_max", "segment_sum", "multirange_gather"]
+
+
+def multirange_gather(
+    starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``arange(starts[k], ends[k])`` for all ``k``, vectorized.
+
+    Returns ``(positions, counts)`` where ``positions`` is the concatenated
+    index array and ``counts[k] = ends[k] - starts[k]``.
+    """
+    starts = np.asarray(starts, dtype=np.intp)
+    ends = np.asarray(ends, dtype=np.intp)
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp), counts
+    out_ptr = np.zeros(counts.size, dtype=np.intp)
+    np.cumsum(counts[:-1], out=out_ptr[1:])
+    positions = np.arange(total, dtype=np.intp) + np.repeat(
+        starts - out_ptr, counts
+    )
+    return positions, counts
+
+
+def segment_max(vals: np.ndarray, ptr: np.ndarray, fill: float = 0.0) -> np.ndarray:
+    """Per-segment maximum of ``vals`` delimited by row pointers ``ptr``.
+
+    Segment ``k`` covers ``vals[ptr[k]:ptr[k+1]]``; empty segments yield
+    ``fill`` (the legacy kernels return 0.0 for empty paths). Uses
+    ``np.maximum.reduceat`` over the non-empty starts only — empty segments
+    contribute no entries, so consecutive non-empty starts delimit exactly
+    one segment's data and the reduceat quirk for empty slices never fires.
+    """
+    counts = np.diff(ptr)
+    out = np.full(counts.shape, fill, dtype=float)
+    nonempty = counts > 0
+    if vals.size and nonempty.any():
+        out[nonempty] = np.maximum.reduceat(vals, ptr[:-1][nonempty])
+    return out
+
+
+def segment_sum(vals: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+    """Per-segment sum of ``vals`` delimited by row pointers ``ptr``.
+
+    Accumulates entries sequentially in storage order (``bincount``), so a
+    segment's sum is bit-identical to the legacy ``acc = 0.0; acc += v``
+    loop over the same values.
+    """
+    counts = np.diff(ptr)
+    n_segments = counts.size
+    if not vals.size:
+        return np.zeros(n_segments)
+    segment_of = np.repeat(np.arange(n_segments, dtype=np.intp), counts)
+    return np.bincount(segment_of, weights=vals, minlength=n_segments)
+
+
+@dataclass(frozen=True)
+class PathIncidence:
+    """CSR incidence of path links over the flattened (flow, alternative) rows.
+
+    Built once per (table, side) by :meth:`from_link_table` and cached on
+    the cost table (see :meth:`PairCostTable.incidence`). All arrays are
+    read-only by convention; nothing here mutates after construction.
+    """
+
+    n_flows: int
+    n_alternatives: int
+    n_links: int
+    indptr: np.ndarray  # (F*I + 1,) row pointers
+    indices: np.ndarray  # (nnz,) link ids, row-major, path order
+    entry_flow: np.ndarray  # (nnz,) flow id of each entry
+
+    @classmethod
+    def from_link_table(
+        cls,
+        link_table: tuple[tuple[np.ndarray, ...], ...],
+        n_links: int,
+        n_alternatives: int,
+    ) -> "PathIncidence":
+        """Compile a ragged ``links[f][i]`` table into CSR form."""
+        n_flows = len(link_table)
+        n_rows = n_flows * n_alternatives
+        counts = np.fromiter(
+            (len(links) for row in link_table for links in row),
+            dtype=np.intp,
+            count=n_rows,
+        )
+        indptr = np.zeros(n_rows + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        nnz = int(indptr[-1])
+        if nnz:
+            indices = np.concatenate(
+                [
+                    np.asarray(links, dtype=np.intp)
+                    for row in link_table
+                    for links in row
+                ]
+            )
+        else:
+            indices = np.empty(0, dtype=np.intp)
+        per_flow = (
+            counts.reshape(n_flows, n_alternatives).sum(axis=1)
+            if n_flows
+            else np.empty(0, dtype=np.intp)
+        )
+        entry_flow = np.repeat(np.arange(n_flows, dtype=np.intp), per_flow)
+        inc = cls(
+            n_flows=n_flows,
+            n_alternatives=n_alternatives,
+            n_links=n_links,
+            indptr=indptr,
+            indices=indices,
+            entry_flow=entry_flow,
+        )
+        inc.validate()
+        return inc
+
+    def validate(self) -> None:
+        n_rows = self.n_flows * self.n_alternatives
+        if self.indptr.shape != (n_rows + 1,):
+            raise RoutingError("incidence indptr has wrong shape")
+        if self.indices.shape != self.entry_flow.shape:
+            raise RoutingError("incidence indices/entry_flow mismatch")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_links
+        ):
+            raise RoutingError("incidence link index out of range")
+
+    # -- row access ----------------------------------------------------------
+
+    def row_links(self, flow_index: int, alternative: int) -> np.ndarray:
+        """Link ids of one (flow, alternative) path (a view, do not mutate)."""
+        row = flow_index * self.n_alternatives + alternative
+        return self.indices[self.indptr[row] : self.indptr[row + 1]]
+
+    def flow_entries(
+        self, flows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Entry positions and row pointers for all rows of ``flows``.
+
+        ``flows`` is an ascending array of flow ids. Returns
+        ``(positions, row_ptr)``: ``positions`` indexes ``indices`` /
+        ``entry_flow`` for every entry of the selected flows (in selection
+        order), and ``row_ptr`` is a ``(len(flows) * I + 1,)`` pointer array
+        delimiting the selected rows inside that gather.
+        """
+        flows = np.asarray(flows, dtype=np.intp)
+        n_alt = self.n_alternatives
+        row_start = flows * n_alt
+        positions, _ = multirange_gather(
+            self.indptr[row_start], self.indptr[row_start + n_alt]
+        )
+        # Per-row counts of the selected block, rebased to a local pointer.
+        counts = np.diff(self.indptr)
+        sel_counts = (
+            counts.reshape(self.n_flows, n_alt)[flows].ravel()
+            if flows.size
+            else np.empty(0, dtype=np.intp)
+        )
+        row_ptr = np.zeros(sel_counts.size + 1, dtype=np.intp)
+        np.cumsum(sel_counts, out=row_ptr[1:])
+        return positions, row_ptr
+
+    # -- whole-placement kernels ----------------------------------------------
+
+    def accumulate_loads(
+        self,
+        choices: np.ndarray,
+        sizes: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-link loads of a placement in one scatter-add.
+
+        ``choices`` is the (F,) alternative per flow, ``sizes`` the (F,)
+        flow sizes; ``active`` optionally masks which flows are placed.
+        Entries accumulate in (flow, path) order, matching the legacy
+        double loop bit for bit.
+        """
+        choices = np.asarray(choices, dtype=np.intp)
+        if active is None:
+            flows = np.arange(self.n_flows, dtype=np.intp)
+        else:
+            flows = np.flatnonzero(np.asarray(active, dtype=bool))
+        rows = flows * self.n_alternatives + choices[flows]
+        positions, counts = multirange_gather(
+            self.indptr[rows], self.indptr[rows + 1]
+        )
+        loads = np.zeros(self.n_links)
+        if positions.size:
+            weights = np.repeat(sizes[flows], counts)
+            loads += np.bincount(
+                self.indices[positions], weights=weights, minlength=self.n_links
+            )
+        return loads

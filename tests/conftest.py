@@ -16,6 +16,14 @@ from repro.topology.generator import GeneratorConfig
 from repro.topology.interconnect import Interconnection, IspPair
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: one-shot exercise of the perf-critical kernels "
+        "(no timing statistics); run just these with -m bench_smoke",
+    )
+
+
 @pytest.fixture(scope="session")
 def fig1():
     return build_figure1_pair()

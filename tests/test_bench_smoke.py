@@ -1,0 +1,82 @@
+"""One-shot smoke runs of the perf-critical kernels (``bench_smoke`` marker).
+
+The tier-1 test command executes each hot kernel exactly once — no timing,
+no statistics — so a refactor that breaks a vectorized kernel (shape drift,
+engine-flag rot, incidence-cache invalidation) fails fast here rather than
+silently in the nightly benchmarks. The timed counterparts live in
+``benchmarks/bench_core_micro.py``; the committed baseline numbers in
+``BENCH_core.json`` come from ``benchmarks/bench_smoke.py``.
+
+Run just these with ``pytest -m bench_smoke``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity.loads import LoadTracker, link_loads
+from repro.capacity.provisioning import ProportionalCapacity
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import FortzCostEvaluator, LoadAwareEvaluator
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import ReassignEveryFraction
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices
+from repro.routing.flows import build_full_flowset
+
+pytestmark = pytest.mark.bench_smoke
+
+
+@pytest.fixture(scope="module")
+def fixture(tiny_dataset):
+    pairs = tiny_dataset.pairs(min_interconnections=2)
+    pair = max(pairs, key=lambda p: p.n_interconnections())
+    table = build_pair_cost_table(pair, build_full_flowset(pair))
+    defaults = early_exit_choices(table)
+    caps_a = ProportionalCapacity().capacities(link_loads(table, defaults, "a"))
+    caps_b = ProportionalCapacity().capacities(link_loads(table, defaults, "b"))
+    return table, defaults, caps_a, caps_b
+
+
+def test_smoke_link_loads(fixture):
+    table, defaults, _, _ = fixture
+    for side in "ab":
+        assert np.array_equal(
+            link_loads(table, defaults, side),
+            link_loads(table, defaults, side, engine="legacy"),
+        )
+
+
+def test_smoke_tracker_batch_kernels(fixture):
+    table, defaults, caps_a, _ = fixture
+    tracker = LoadTracker(table, "a")
+    tracker.place(0, int(defaults[0]))
+    remaining = np.ones(table.n_flows, dtype=bool)
+    matrix = tracker.peek_max_ratio_matrix(remaining, caps_a)
+    assert np.array_equal(matrix[1], tracker.peek_max_ratio_all(1, caps_a))
+    assert matrix.shape == (table.n_flows, table.n_alternatives)
+
+
+@pytest.mark.parametrize("evaluator_cls", [LoadAwareEvaluator, FortzCostEvaluator])
+def test_smoke_evaluator_reassign(fixture, evaluator_cls):
+    table, defaults, caps_a, _ = fixture
+    sparse = evaluator_cls(table, "a", caps_a, defaults)
+    legacy = evaluator_cls(table, "a", caps_a, defaults, engine="legacy")
+    remaining = np.ones(table.n_flows, dtype=bool)
+    sparse.reassign(remaining)
+    legacy.reassign(remaining)
+    assert np.array_equal(sparse.preferences(), legacy.preferences())
+
+
+def test_smoke_reassigning_session(fixture):
+    table, defaults, caps_a, caps_b = fixture
+    session = NegotiationSession(
+        NegotiationAgent("a", LoadAwareEvaluator(table, "a", caps_a, defaults)),
+        NegotiationAgent("b", LoadAwareEvaluator(table, "b", caps_b, defaults)),
+        sizes=table.flowset.sizes(),
+        defaults=defaults,
+        config=SessionConfig(reassignment_policy=ReassignEveryFraction(0.05)),
+    )
+    outcome = session.run()
+    assert outcome.gain_a >= 0 and outcome.gain_b >= 0

@@ -1,0 +1,70 @@
+"""Parallel figure sweeps: worker-count invariance and plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.bandwidth import run_bandwidth_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distance import run_distance_experiment
+from repro.experiments.parallel import parallel_map, resolve_workers
+
+
+class TestResolveWorkers:
+    def test_serial_spellings(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+
+    def test_explicit(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_means_cpu_count(self):
+        assert resolve_workers(-1) >= 1
+
+
+def test_parallel_map_serial_path():
+    assert parallel_map(abs, [-2, 3, -4], workers=1) == [2, 3, 4]
+    assert parallel_map(abs, [], workers=4) == []
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return replace(
+        ExperimentConfig.quick(), max_pairs_distance=2, max_pairs_bandwidth=2
+    )
+
+
+class TestWorkerInvariance:
+    """workers=1 and workers>1 must produce identical figure data."""
+
+    def test_distance(self, tiny_config):
+        serial = run_distance_experiment(tiny_config, workers=1)
+        parallel = run_distance_experiment(tiny_config, workers=2)
+        assert len(serial.pairs) == len(parallel.pairs) > 0
+        for s, p in zip(serial.pairs, parallel.pairs):
+            assert s.pair_name == p.pair_name
+            assert s.total_gain_optimal == p.total_gain_optimal
+            assert s.total_gain_negotiated == p.total_gain_negotiated
+            assert s.gain_a_negotiated == p.gain_a_negotiated
+            assert s.gain_b_negotiated == p.gain_b_negotiated
+            assert np.array_equal(s.flow_gains_optimal, p.flow_gains_optimal)
+            assert np.array_equal(
+                s.flow_gains_negotiated, p.flow_gains_negotiated
+            )
+
+    def test_bandwidth(self, tiny_config):
+        serial = run_bandwidth_experiment(tiny_config, workers=1)
+        parallel = run_bandwidth_experiment(tiny_config, workers=2)
+        assert len(serial.cases) == len(parallel.cases) > 0
+        for s, p in zip(serial.cases, parallel.cases):
+            assert (s.pair_name, s.failed_city) == (p.pair_name, p.failed_city)
+            assert s.n_affected == p.n_affected
+            assert s.mel_default_a == p.mel_default_a
+            assert s.mel_default_b == p.mel_default_b
+            assert s.mel_negotiated_a == p.mel_negotiated_a
+            assert s.mel_negotiated_b == p.mel_negotiated_b
+            assert s.mel_opt_joint == p.mel_opt_joint
