@@ -10,16 +10,22 @@ kernel with::
 
     PYTHONPATH=src python benchmarks/bench_smoke.py
 
+``--check`` re-runs the benches without touching the baseline file and
+exits non-zero if any recorded speedup drops below 1.0 — i.e. if a
+"vectorized" kernel has regressed behind its legacy loop::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py --check
+
 Scales with ``REPRO_BENCH_PRESET`` (quick / bench / paper) like the figure
 benchmarks; the committed baseline uses the default ``bench`` preset.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
-import sys
 import time
 from pathlib import Path
 
@@ -32,9 +38,11 @@ from repro.core.evaluators import FortzCostEvaluator, LoadAwareEvaluator
 from repro.core.session import NegotiationSession, SessionConfig
 from repro.core.strategies import ReassignEveryFraction
 from repro.experiments.config import ExperimentConfig
+from repro.optimal.bandwidth_lp import _link_constraint_rows
 from repro.routing.costs import build_pair_cost_table
 from repro.routing.exits import early_exit_choices
 from repro.routing.flows import build_full_flowset
+from repro.routing.paths import IntradomainRouting
 from repro.topology.dataset import build_default_dataset
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
@@ -61,6 +69,53 @@ def _sample_table(config: ExperimentConfig):
     return build_pair_cost_table(pair, build_full_flowset(pair))
 
 
+def _case_setup(table, derived: bool):
+    """One failure case's table setup, as run_bandwidth_case performs it.
+
+    Both variants end with the per-case table, early-exit choices and both
+    compiled incidences (the load/LP machinery touches all of them every
+    case), so the timings compare equal amounts of delivered state.
+    """
+    pair = table.pair
+
+    def fast():
+        post = table.without_alternative(0)
+        early_exit_choices(post)
+        post.incidence("a")
+        post.incidence("b")
+
+    def legacy(routing_a, routing_b):
+        failed = pair.without_interconnection(0)
+        flowset = build_full_flowset(failed)
+        post = build_pair_cost_table(failed, flowset, routing_a, routing_b)
+        early_exit_choices(post)
+        post.incidence("a")
+        post.incidence("b")
+
+    if derived:
+        return fast
+    # Warm per-pair routing caches, as _build_context shares them per pair.
+    routing_a = IntradomainRouting(pair.isp_a)
+    routing_b = IntradomainRouting(pair.isp_b)
+    legacy(routing_a, routing_b)
+    return lambda: legacy(routing_a, routing_b)
+
+
+def _lp_assembly(table, caps_a, caps_b, engine: str):
+    """Assemble both sides' link-constraint triplets, as the LP does."""
+    base_a = np.zeros(caps_a.shape[0])
+    base_b = np.zeros(caps_b.shape[0])
+    t_col = table.n_flows * table.n_alternatives
+
+    def assemble():
+        _link_constraint_rows(table, "a", caps_a, base_a, 0, t_col,
+                              engine=engine)
+        _link_constraint_rows(table, "b", caps_b, base_b, caps_a.shape[0],
+                              t_col, engine=engine)
+
+    return assemble
+
+
 def _best_of(fn, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
@@ -70,7 +125,7 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def main(output: Path = DEFAULT_OUTPUT) -> dict:
+def main(output: Path = DEFAULT_OUTPUT, check: bool = False) -> dict:
     preset_name, config = _preset()
     table = _sample_table(config)
     defaults = early_exit_choices(table)
@@ -108,11 +163,33 @@ def main(output: Path = DEFAULT_OUTPUT) -> dict:
 
         return run
 
+    flowset = table.flowset
+    pair = table.pair
+    warm_a = IntradomainRouting(pair.isp_a)
+    warm_b = IntradomainRouting(pair.isp_b)
+    build_pair_cost_table(pair, flowset, warm_a, warm_b)  # warm SSSP caches
+
     benches = {
         "link_loads": (
             lambda: link_loads(table, defaults, "a"),
             lambda: link_loads(table, defaults, "a", engine="legacy"),
             20,
+        ),
+        "pair_table_build": (
+            lambda: build_pair_cost_table(pair, flowset, warm_a, warm_b),
+            lambda: build_pair_cost_table(pair, flowset, warm_a, warm_b,
+                                          engine="legacy"),
+            5,
+        ),
+        "bandwidth_case_setup": (
+            _case_setup(table, derived=True),
+            _case_setup(table, derived=False),
+            5,
+        ),
+        "lp_assembly": (
+            _lp_assembly(table, caps_a, caps_b, "sparse"),
+            _lp_assembly(table, caps_a, caps_b, "legacy"),
+            10,
         ),
         "loadaware_reassign": (
             evaluator_reassign(LoadAwareEvaluator, "sparse"),
@@ -156,10 +233,28 @@ def main(output: Path = DEFAULT_OUTPUT) -> dict:
         "numpy": np.__version__,
         "benches": results,
     }
+    if check:
+        slow = {
+            name: bench["speedup"]
+            for name, bench in results.items()
+            if bench["speedup"] is not None and bench["speedup"] < 1.0
+        }
+        if slow:
+            print(f"FAIL: kernels slower than their legacy loops: {slow}")
+            raise SystemExit(1)
+        print("OK: every kernel at or above 1.0x its legacy loop")
+        return report
     output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {output}")
     return report
 
 
 if __name__ == "__main__":
-    main(Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUTPUT)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", type=Path, default=DEFAULT_OUTPUT,
+                        help="baseline JSON path (default: BENCH_core.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="re-run the benches and fail if any speedup "
+                             "drops below 1.0 (does not write the baseline)")
+    args = parser.parse_args()
+    main(args.output, check=args.check)

@@ -9,6 +9,8 @@ sits on top of the routing infrastructure.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.core.evaluators import Evaluator
@@ -34,6 +36,7 @@ class NegotiationAgent:
         evaluator: Evaluator,
         termination: TerminationMode = TerminationMode.EARLY,
         acceptance: AcceptancePolicy | None = None,
+        incremental_stop: bool = True,
     ):
         if not name:
             raise NegotiationError("agent name cannot be empty")
@@ -41,6 +44,14 @@ class NegotiationAgent:
         self.evaluator = evaluator
         self.termination = termination
         self.acceptance = acceptance or AlwaysAccept()
+        #: Maintain the remaining-rows preference maximum incrementally
+        #: (a lazily pruned heap over per-flow row maxima) instead of
+        #: rescanning the masked (F, I) matrix every :meth:`wants_to_stop`
+        #: call. ``False`` forces the legacy full scan (equivalence tests).
+        self.incremental_stop = incremental_stop
+        #: (heap of (-row_max, flow), previous remaining mask) — rebuilt on
+        #: reassignment and whenever the mask is not a subset of the last.
+        self._stop_cache: tuple[list[tuple[int, int]], np.ndarray] | None = None
         self.cumulative_gain = 0
         #: Private accounting on the ISP's actual metric (never disclosed).
         self.true_cumulative = 0.0
@@ -76,15 +87,49 @@ class NegotiationAgent:
         reassignment, so the agent only stops once every remaining
         alternative is strictly negative. Full termination: never stop
         unilaterally (the session stops when joint gain is exhausted).
+
+        With ``incremental_stop`` (default) the remaining-rows maximum is
+        answered from a heap of per-flow row maxima, built once per
+        disclosure and lazily pruned as flows leave ``remaining`` —
+        amortized O(log F) per round instead of an O(F·I) masked rescan.
+        Falls back to a rebuild whenever the mask is not a subset of the
+        previous one, so arbitrary callers still get exact answers.
         """
         if self.termination is TerminationMode.FULL:
             return False
-        prefs = self.true_preferences()
-        masked = prefs[remaining]
-        if not masked.size:
-            return True
+        remaining = np.asarray(remaining, dtype=bool)
         threshold = 0 if reassignable else 1
-        return int(masked.max()) < threshold
+        if not self.incremental_stop:
+            prefs = self.true_preferences()
+            masked = prefs[remaining]
+            if not masked.size:
+                return True
+            return int(masked.max()) < threshold
+        cache = self._stop_cache
+        if (
+            cache is None
+            or cache[1].shape != remaining.shape
+            or bool(np.any(remaining & ~cache[1]))
+        ):
+            prefs = self.true_preferences()
+            if prefs.shape[1] == 0:
+                return True
+            row_max = prefs.max(axis=1)
+            heap = [
+                (-int(row_max[f]), f) for f in np.flatnonzero(remaining)
+            ]
+            heapq.heapify(heap)
+            cache = (heap, remaining.copy())
+            self._stop_cache = cache
+        else:
+            cache = (cache[0], remaining.copy())
+            self._stop_cache = cache
+        heap = cache[0]
+        while heap and not remaining[heap[0][1]]:
+            heapq.heappop(heap)
+        if not heap:
+            return True
+        return -heap[0][0] < threshold
 
     def decide_accept(self, flow_index: int, alternative: int,
                       other_pref: int) -> bool:
@@ -108,6 +153,8 @@ class NegotiationAgent:
 
     def reassign(self, remaining: np.ndarray) -> None:
         self.evaluator.reassign(remaining)
+        # Preferences (and hence row maxima) changed; rebuild lazily.
+        self._stop_cache = None
 
     def reset(self) -> None:
         """Clear cumulative gains (evaluator state is not reset)."""

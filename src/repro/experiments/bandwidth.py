@@ -15,6 +15,14 @@ Per (pair, failed interconnection) case:
    (Figure 9: upstream bandwidth / downstream distance), and a cheating
    upstream (Figure 11).
 4. Score everything by MEL (max load/capacity over a network's links).
+
+Failure-case fast path: by default (``derived_tables=True``) step 2 does no
+routing work at all — the post-failure cost table is *derived* from the
+pair's pre-failure table by dropping the failed column
+(:meth:`~repro.routing.costs.PairCostTable.without_alternative`), flowset
+and compiled CSR incidence included, which is bit-identical to the legacy
+per-case rebuild (``derived_tables=False``: ``build_full_flowset`` +
+``build_pair_cost_table`` per case, kept for the equivalence tests).
 """
 
 from __future__ import annotations
@@ -263,7 +271,8 @@ def run_pair_cases(
 
     The single per-pair unit of the experiment sweep — both the serial
     loop and the parallel workers call exactly this, so the two paths
-    cannot drift apart.
+    cannot drift apart. ``flags`` carries the per-case keyword arguments
+    of :func:`run_bandwidth_case` (``include_*``, ``derived_tables``).
     """
     context = _build_context(pair, workload, provisioner)
     n_fail = pair.n_interconnections()
@@ -280,8 +289,15 @@ def run_bandwidth_case(
     include_unilateral: bool = False,
     include_cheating: bool = False,
     include_diverse: bool = False,
+    derived_tables: bool = True,
 ) -> BandwidthCaseResult:
-    """Evaluate one interconnection failure (see module docstring)."""
+    """Evaluate one interconnection failure (see module docstring).
+
+    ``derived_tables=True`` (default) derives the post-failure cost table
+    from the pair context's pre-failure table instead of re-routing the
+    flowset; ``False`` forces the legacy per-case rebuild. Results are
+    bit-identical either way.
+    """
     config = config or ExperimentConfig()
     if isinstance(context_or_pair, IspPair):
         workload = workload or GravityWorkload(
@@ -297,11 +313,14 @@ def run_bandwidth_case(
         )
 
     failed_city = pair.interconnections[failed_ic_index].city
-    failed_pair = pair.without_interconnection(failed_ic_index)
-    flowset_post = build_full_flowset(failed_pair, context.size_fn)
-    table_post = build_pair_cost_table(
-        failed_pair, flowset_post, context.routing_a, context.routing_b
-    )
+    if derived_tables:
+        table_post = context.table_pre.without_alternative(failed_ic_index)
+    else:
+        failed_pair = pair.without_interconnection(failed_ic_index)
+        flowset_post = build_full_flowset(failed_pair, context.size_fn)
+        table_post = build_pair_cost_table(
+            failed_pair, flowset_post, context.routing_a, context.routing_b
+        )
     default_post = early_exit_choices(table_post)
 
     affected = np.asarray(context.default_pre) == failed_ic_index
@@ -462,6 +481,7 @@ def run_bandwidth_experiment(
     workload=None,
     provisioner: ProportionalCapacity | None = None,
     workers: int | None = None,
+    derived_tables: bool = True,
 ) -> BandwidthExperimentResult:
     """Run the Section 5.2 experiment over the configured dataset.
 
@@ -474,6 +494,10 @@ def run_bandwidth_experiment(
     precomputed context). Results are collected in (pair, failure) order,
     so any worker count produces identical results; custom ``workload`` /
     ``provisioner`` objects must be picklable when ``workers > 1``.
+
+    ``derived_tables`` selects the per-case table strategy (see
+    :func:`run_bandwidth_case`); the default fast path derives each
+    failure's table from the pair's pre-failure table.
     """
     config = config or ExperimentConfig()
     dataset = build_default_dataset(config.dataset)
@@ -485,6 +509,7 @@ def run_bandwidth_experiment(
         include_unilateral=include_unilateral,
         include_cheating=include_cheating,
         include_diverse=include_diverse,
+        derived_tables=derived_tables,
     )
     if resolve_workers(workers) > 1:
         payloads = [

@@ -110,10 +110,13 @@ def _bandwidth_pair_worker(payload):
     """All failure cases of one bandwidth-experiment pair.
 
     Payload: ``(config, pair_index, flags_dict, workload, provisioner)``.
-    ``workload``/``provisioner`` are ``None`` for the defaults (rebuilt
-    here from the dataset, avoiding pickling); custom objects are passed
-    through and must be picklable. The per-pair work itself is
-    ``run_pair_cases`` — the same function the serial sweep calls.
+    ``flags_dict`` holds the per-case keyword arguments (``include_*``,
+    ``derived_tables``), so the workers honor the same table strategy as
+    the serial sweep. ``workload``/``provisioner`` are ``None`` for the
+    defaults (rebuilt here from the dataset, avoiding pickling); custom
+    objects are passed through and must be picklable. The per-pair work
+    itself is ``run_pair_cases`` — the same function the serial sweep
+    calls.
     """
     from repro.experiments.bandwidth import run_pair_cases
     from repro.geo.population import PopulationModel

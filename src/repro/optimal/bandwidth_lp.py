@@ -29,8 +29,19 @@ from scipy.sparse import coo_matrix
 
 from repro.errors import OptimizationError
 from repro.routing.costs import PairCostTable
+from repro.routing.incidence import multirange_gather
 
 __all__ = ["LpRoutingResult", "solve_min_max_load_lp", "fractional_loads"]
+
+_ASSEMBLY_ENGINES = ("sparse", "legacy")
+
+
+def _validate_assembly_engine(engine: str) -> str:
+    if engine not in _ASSEMBLY_ENGINES:
+        raise OptimizationError(
+            f"engine must be one of {_ASSEMBLY_ENGINES}, got {engine!r}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -58,29 +69,61 @@ def _link_constraint_rows(
     base: np.ndarray,
     row_offset: int,
     t_col: int,
-) -> tuple[list[int], list[int], list[float], np.ndarray]:
-    """COO triplets and RHS for one ISP side's link constraints."""
+    engine: str = "sparse",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """COO triplets and RHS for one ISP side's link constraints.
+
+    ``engine="sparse"`` (default) reads the table's compiled CSR incidence:
+    the x-variable triplets *are* the incidence arrays — row ids come from
+    ``indices``, column ids from the CSR row of each entry, values from
+    ``sizes[entry_flow]`` — produced in exactly the (flow, alternative,
+    path-order) sequence the legacy loop emits. ``engine="legacy"`` keeps
+    the original ragged-table loop for the equivalence tests.
+    """
     n_links = caps.shape[0]
-    link_table = table.up_links if side == "a" else table.down_links
+    if engine == "legacy":
+        link_table = table.up_links if side == "a" else table.down_links
+        sizes = table.flowset.sizes()
+        n_i = table.n_alternatives
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for f in range(table.n_flows):
+            for i in range(n_i):
+                col = f * n_i + i
+                for li in link_table[f][i]:
+                    rows.append(row_offset + int(li))
+                    cols.append(col)
+                    vals.append(float(sizes[f]))
+        # -t * cap_l on the left-hand side.
+        for li in range(n_links):
+            rows.append(row_offset + li)
+            cols.append(t_col)
+            vals.append(-float(caps[li]))
+        rhs = -np.asarray(base, dtype=float)
+        return (
+            np.asarray(rows, dtype=np.intp),
+            np.asarray(cols, dtype=np.intp),
+            np.asarray(vals, dtype=float),
+            rhs,
+        )
+    inc = table.incidence(side)
     sizes = table.flowset.sizes()
-    n_i = table.n_alternatives
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    for f in range(table.n_flows):
-        for i in range(n_i):
-            col = f * n_i + i
-            for li in link_table[f][i]:
-                rows.append(row_offset + int(li))
-                cols.append(col)
-                vals.append(float(sizes[f]))
-    # -t * cap_l on the left-hand side.
-    for li in range(n_links):
-        rows.append(row_offset + li)
-        cols.append(t_col)
-        vals.append(-float(caps[li]))
+    n_matrix_rows = inc.n_flows * inc.n_alternatives
+    entry_counts = np.diff(inc.indptr)
+    link_ids = np.arange(n_links, dtype=np.intp)
+    rows_arr = np.concatenate([row_offset + inc.indices, row_offset + link_ids])
+    cols_arr = np.concatenate(
+        [
+            np.repeat(np.arange(n_matrix_rows, dtype=np.intp), entry_counts),
+            np.full(n_links, t_col, dtype=np.intp),
+        ]
+    )
+    vals_arr = np.concatenate(
+        [sizes[inc.entry_flow], -np.asarray(caps, dtype=float)]
+    )
     rhs = -np.asarray(base, dtype=float)
-    return rows, cols, vals, rhs
+    return rows_arr, cols_arr, vals_arr, rhs
 
 
 def solve_min_max_load_lp(
@@ -90,13 +133,19 @@ def solve_min_max_load_lp(
     base_a: np.ndarray | None = None,
     base_b: np.ndarray | None = None,
     sides: tuple[str, ...] = ("a", "b"),
+    engine: str = "sparse",
 ) -> LpRoutingResult:
     """Solve the fractional min-max-load LP over the given sides.
 
     ``sides=("a",)`` restricts the objective to upstream links only — the
     upstream-unilateral optimization of Figure 8. Both capacity arrays must
     always be supplied (shapes are validated against the pair).
+
+    ``engine`` selects the constraint assembler (see
+    :func:`_link_constraint_rows`); the resulting LP is identical either
+    way, so the flag is purely a performance/verification switch.
     """
+    _validate_assembly_engine(engine)
     n_f, n_i = table.n_flows, table.n_alternatives
     if n_f == 0:
         return LpRoutingResult(t=0.0, fractions=np.zeros((0, n_i)))
@@ -118,22 +167,31 @@ def solve_min_max_load_lp(
 
     n_x = n_f * n_i
     t_col = n_x
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
+    row_parts: list[np.ndarray] = []
+    col_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
     rhs_parts: list[np.ndarray] = []
     offset = 0
     for side in sides:
         caps = caps_a if side == "a" else caps_b
         base = base_a if side == "a" else base_b
-        r, c, v, rhs = _link_constraint_rows(table, side, caps, base, offset, t_col)
-        rows.extend(r)
-        cols.extend(c)
-        vals.extend(v)
+        r, c, v, rhs = _link_constraint_rows(
+            table, side, caps, base, offset, t_col, engine=engine
+        )
+        row_parts.append(r)
+        col_parts.append(c)
+        val_parts.append(v)
         rhs_parts.append(rhs)
         offset += caps.shape[0]
     a_ub = coo_matrix(
-        (vals, (rows, cols)), shape=(offset, n_x + 1)
+        (
+            np.concatenate(val_parts) if val_parts else np.zeros(0),
+            (
+                np.concatenate(row_parts) if row_parts else np.zeros(0, np.intp),
+                np.concatenate(col_parts) if col_parts else np.zeros(0, np.intp),
+            ),
+        ),
+        shape=(offset, n_x + 1),
     ).tocsr()
     b_ub = np.concatenate(rhs_parts) if rhs_parts else np.zeros(0)
 
@@ -173,8 +231,18 @@ def fractional_loads(
     fractions: np.ndarray,
     side: str,
     base: np.ndarray | None = None,
+    engine: str = "sparse",
 ) -> np.ndarray:
-    """Per-link loads in one ISP under a fractional placement."""
+    """Per-link loads in one ISP under a fractional placement.
+
+    ``engine="sparse"`` (default) computes the whole placement as one
+    ``bincount`` scatter-add over the table's CSR incidence. The base loads
+    are fed through the same bincount as leading per-link entries, so each
+    link accumulates ``base, entry, entry, ...`` sequentially — exactly the
+    legacy loop's float order, hence bit-identical results.
+    ``engine="legacy"`` keeps the original per-(flow, alternative) loop.
+    """
+    _validate_assembly_engine(engine)
     fractions = np.asarray(fractions, dtype=float)
     if fractions.shape != (table.n_flows, table.n_alternatives):
         raise OptimizationError(
@@ -189,6 +257,29 @@ def fractional_loads(
     else:
         raise OptimizationError(f"side must be 'a' or 'b', got {side!r}")
     sizes = table.flowset.sizes()
+
+    if engine == "sparse":
+        inc = table.incidence(side)
+        flat = fractions.ravel()  # row id = f * I + i, matching the CSR rows
+        placed_rows = np.flatnonzero(flat > 0)
+        positions, counts = multirange_gather(
+            inc.indptr[placed_rows], inc.indptr[placed_rows + 1]
+        )
+        seed = (
+            np.zeros(n_links)
+            if base is None
+            else np.asarray(base, dtype=float)
+        )
+        bins = np.arange(n_links, dtype=np.intp)
+        weights = seed
+        if positions.size:
+            row_weight = (
+                sizes[placed_rows // table.n_alternatives] * flat[placed_rows]
+            )
+            bins = np.concatenate([bins, inc.indices[positions]])
+            weights = np.concatenate([seed, np.repeat(row_weight, counts)])
+        return np.bincount(bins, weights=weights, minlength=n_links)
+
     loads = np.zeros(n_links) if base is None else np.asarray(base, float).copy()
     for f in range(table.n_flows):
         for i in range(table.n_alternatives):

@@ -25,8 +25,14 @@ def solve_upstream_unilateral_lp(
     caps_b: np.ndarray,
     base_a: np.ndarray | None = None,
     base_b: np.ndarray | None = None,
+    engine: str = "sparse",
 ) -> LpRoutingResult:
-    """Minimize the maximum load ratio over *upstream* links only."""
+    """Minimize the maximum load ratio over *upstream* links only.
+
+    Shares :func:`solve_min_max_load_lp`'s incidence-backed constraint
+    assembler (``engine``), so the Figure 8 sweep benefits from the same
+    vectorized setup as the joint LP.
+    """
     return solve_min_max_load_lp(
         table,
         caps_a=caps_a,
@@ -34,4 +40,5 @@ def solve_upstream_unilateral_lp(
         base_a=base_a,
         base_b=base_b,
         sides=("a",),
+        engine=engine,
     )

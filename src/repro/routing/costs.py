@@ -11,13 +11,22 @@ precomputed tables: for each flow ``f`` and each interconnection ``i``,
 * ``up_links[f][i]`` / ``down_links[f][i]``: link indices traversed, used
   by the bandwidth/load machinery.
 
-Building the table costs one Dijkstra per interconnection per side.
+Building the table costs one Dijkstra per interconnection per side; the
+default ``engine="batched"`` builder then fills the (F, I) arrays column by
+column from dense per-PoP SSSP views instead of issuing F·I per-cell
+routing queries.
 
 The ragged link tables are the *authoring* format; the load/preference hot
 path consumes their compiled CSR form instead — see :meth:`PairCostTable.incidence`
 and :mod:`repro.routing.incidence`. The incidence structures are built
 lazily on first use and cached per (table, side), so tables that never
 touch the bandwidth machinery pay nothing.
+
+Failure cases never rebuild tables at all: a post-failure table is this
+table with one column removed, and :meth:`PairCostTable.without_alternative`
+derives it — dense arrays sliced, ragged rows shortened, any compiled
+incidence filtered structurally — bit-identical to a from-scratch rebuild
+over the reduced pair.
 """
 
 from __future__ import annotations
@@ -91,6 +100,45 @@ class PairCostTable:
         """End-to-end geographic cost per alternative: up + peering + down."""
         return self.up_km + self.ic_km[np.newaxis, :] + self.down_km
 
+    def without_alternative(self, failed_index: int) -> "PairCostTable":
+        """The post-failure table, derived by dropping column ``failed_index``.
+
+        A failure case's table is this table with one interconnection
+        removed: the dense weight/km arrays lose a column, the ragged link
+        tables lose one entry per row, and the pair/flowset are re-bound to
+        :meth:`IspPair.without_interconnection`'s reduced pair. No shortest
+        path is recomputed and no size function is called — every value is
+        bit-identical to rebuilding the table from scratch over the failed
+        pair (the routing layer is deterministic and failure does not
+        change intra-ISP paths).
+
+        Any CSR incidence already compiled on this table is re-derived
+        structurally (:meth:`PathIncidence.without_alternative`) instead of
+        being recompiled from the ragged rows, so the load/LP machinery of
+        a failure case starts warm.
+        """
+        k = int(failed_index)
+        failed_pair = self.pair.without_interconnection(k)
+        derived = PairCostTable(
+            pair=failed_pair,
+            flowset=self.flowset.with_pair(failed_pair),
+            up_weight=np.delete(self.up_weight, k, axis=1),
+            down_weight=np.delete(self.down_weight, k, axis=1),
+            up_km=np.delete(self.up_km, k, axis=1),
+            down_km=np.delete(self.down_km, k, axis=1),
+            ic_km=np.delete(self.ic_km, k),
+            up_links=tuple(row[:k] + row[k + 1 :] for row in self.up_links),
+            down_links=tuple(row[:k] + row[k + 1 :] for row in self.down_links),
+        )
+        for attr in ("_incidence_a", "_incidence_b"):
+            cached = self.__dict__.get(attr)
+            if cached is not None:
+                object.__setattr__(
+                    derived, attr, cached.without_alternative(k)
+                )
+        derived.validate()
+        return derived
+
     def subset(self, indices: np.ndarray) -> "PairCostTable":
         """A reindexed table containing only the given flow rows.
 
@@ -123,20 +171,34 @@ class PairCostTable:
             raise RoutingError("link tables have wrong flow dimension")
 
 
+_BUILD_ENGINES = ("batched", "legacy")
+
+
 def build_pair_cost_table(
     pair: IspPair,
     flowset: FlowSet,
     routing_a: IntradomainRouting | None = None,
     routing_b: IntradomainRouting | None = None,
+    engine: str = "batched",
 ) -> PairCostTable:
     """Build the cost table for ``flowset`` over ``pair`` (direction A->B).
 
     ``routing_a`` / ``routing_b`` may be passed in to share Dijkstra caches
     across multiple tables over the same ISPs (e.g. both directions, or
     several failure scenarios).
+
+    ``engine="batched"`` (default) fills the (F, I) arrays column by column
+    from each interconnection's dense per-PoP SSSP views — one gather per
+    column instead of F·I per-cell routing queries. ``engine="legacy"``
+    keeps the original cell-by-cell loop; both produce bit-identical
+    tables (the per-PoP views are exactly the per-cell floats).
     """
     if flowset.pair is not pair and flowset.pair.name != pair.name:
         raise RoutingError("flowset was built for a different pair")
+    if engine not in _BUILD_ENGINES:
+        raise RoutingError(
+            f"engine must be one of {_BUILD_ENGINES}, got {engine!r}"
+        )
     routing_a = routing_a or IntradomainRouting(pair.isp_a)
     routing_b = routing_b or IntradomainRouting(pair.isp_b)
 
@@ -147,26 +209,66 @@ def build_pair_cost_table(
     up_km = np.zeros((n_f, n_i))
     down_km = np.zeros((n_f, n_i))
     ic_km = np.asarray([ic.length_km for ic in ics], dtype=float)
-    up_links: list[tuple[np.ndarray, ...]] = []
-    down_links: list[tuple[np.ndarray, ...]] = []
 
     # Warm the SSSP caches from the interconnection PoPs: paths are
     # symmetric on an undirected graph, so dist(src, exit) = dist(exit, src).
     routing_a.warm([ic.pop_a for ic in ics])
     routing_b.warm([ic.pop_b for ic in ics])
 
-    for flow in flowset:
-        f_up_links = []
-        f_down_links = []
+    if engine == "legacy":
+        up_links_l: list[tuple[np.ndarray, ...]] = []
+        down_links_l: list[tuple[np.ndarray, ...]] = []
+        for flow in flowset:
+            f_up_links = []
+            f_down_links = []
+            for i, ic in enumerate(ics):
+                up_weight[flow.index, i] = routing_a.weight_distance(
+                    ic.pop_a, flow.src
+                )
+                up_km[flow.index, i] = routing_a.geo_distance_km(
+                    ic.pop_a, flow.src
+                )
+                f_up_links.append(routing_a.path_links(ic.pop_a, flow.src))
+                down_weight[flow.index, i] = routing_b.weight_distance(
+                    ic.pop_b, flow.dst
+                )
+                down_km[flow.index, i] = routing_b.geo_distance_km(
+                    ic.pop_b, flow.dst
+                )
+                f_down_links.append(routing_b.path_links(ic.pop_b, flow.dst))
+            up_links_l.append(tuple(f_up_links))
+            down_links_l.append(tuple(f_down_links))
+        up_links = tuple(up_links_l)
+        down_links = tuple(down_links_l)
+    else:
+        srcs = np.fromiter((f.src for f in flowset), dtype=np.intp, count=n_f)
+        dsts = np.fromiter((f.dst for f in flowset), dtype=np.intp, count=n_f)
+        links_up_cols: list[tuple[np.ndarray | None, ...]] = []
+        links_down_cols: list[tuple[np.ndarray | None, ...]] = []
         for i, ic in enumerate(ics):
-            up_weight[flow.index, i] = routing_a.weight_distance(ic.pop_a, flow.src)
-            up_km[flow.index, i] = routing_a.geo_distance_km(ic.pop_a, flow.src)
-            f_up_links.append(routing_a.path_links(ic.pop_a, flow.src))
-            down_weight[flow.index, i] = routing_b.weight_distance(ic.pop_b, flow.dst)
-            down_km[flow.index, i] = routing_b.geo_distance_km(ic.pop_b, flow.dst)
-            f_down_links.append(routing_b.path_links(ic.pop_b, flow.dst))
-        up_links.append(tuple(f_up_links))
-        down_links.append(tuple(f_down_links))
+            up_weight[:, i] = routing_a.weight_distance_array(ic.pop_a)[srcs]
+            up_km[:, i] = routing_a.geo_distance_array(ic.pop_a)[srcs]
+            links_up_cols.append(routing_a.path_links_array(ic.pop_a))
+            down_weight[:, i] = routing_b.weight_distance_array(ic.pop_b)[dsts]
+            down_km[:, i] = routing_b.geo_distance_array(ic.pop_b)[dsts]
+            links_down_cols.append(routing_b.path_links_array(ic.pop_b))
+        for name, side_isp, arr in (
+            ("source", pair.isp_a.name, up_weight),
+            ("destination", pair.isp_b.name, down_weight),
+        ):
+            if np.isnan(arr).any():
+                raise RoutingError(
+                    f"{side_isp}: some {name} PoPs are unreachable from an "
+                    "interconnection"
+                )
+        up_links = tuple(
+            tuple(links_up_cols[i][src] for i in range(n_i))
+            for src in srcs.tolist()
+        )
+        down_links = tuple(
+            tuple(links_down_cols[i][dst] for i in range(n_i))
+            for dst in dsts.tolist()
+        )
 
     table = PairCostTable(
         pair=pair,

@@ -55,6 +55,7 @@ class FlowSet:
     def __init__(self, pair: IspPair, flows: Sequence[Flow]):
         self._pair = pair
         self._flows: tuple[Flow, ...] = tuple(flows)
+        self._sizes: np.ndarray | None = None
         n_a = pair.isp_a.n_pops()
         n_b = pair.isp_b.n_pops()
         for pos, flow in enumerate(self._flows):
@@ -83,11 +84,40 @@ class FlowSet:
         return self._flows[index]
 
     def sizes(self) -> np.ndarray:
-        """Flow sizes as a float array (F,)."""
-        return np.asarray([f.size for f in self._flows], dtype=float)
+        """Flow sizes as a float array (F,), built once and shared.
+
+        The array is read-only: every hot kernel (load accumulation, LP
+        assembly, session bookkeeping) reads the same buffer instead of
+        re-materializing it from the Flow objects per call.
+        """
+        if self._sizes is None:
+            sizes = np.asarray([f.size for f in self._flows], dtype=float)
+            sizes.setflags(write=False)
+            self._sizes = sizes
+        return self._sizes
 
     def total_size(self) -> float:
         return float(self.sizes().sum())
+
+    def with_pair(self, pair: IspPair) -> "FlowSet":
+        """The same flows re-bound to another pair over the same two ISPs.
+
+        The derived-table fast path evaluates a failure by dropping one
+        interconnection from the pair; the flows themselves (src/dst PoPs,
+        sizes) are untouched, so the post-failure flowset is just this one
+        viewed against the reduced pair — no size-function calls, no Flow
+        reconstruction. Both ISPs must match (PoP indexing is per-ISP).
+        """
+        if (
+            pair.isp_a.name != self._pair.isp_a.name
+            or pair.isp_b.name != self._pair.isp_b.name
+        ):
+            raise TrafficError(
+                f"cannot rebind flows of {self._pair.name} to {pair.name}"
+            )
+        view = FlowSet(pair, self._flows)
+        view._sizes = self.sizes()  # share the cached read-only buffer
+        return view
 
     def subset(self, indices: Sequence[int]) -> "FlowSet":
         """A reindexed FlowSet containing only the given flow indices."""

@@ -168,6 +168,49 @@ class PathIncidence:
         ):
             raise RoutingError("incidence link index out of range")
 
+    # -- structural derivation -------------------------------------------------
+
+    def without_alternative(self, alternative: int) -> "PathIncidence":
+        """The incidence with one alternative column removed, derived
+        structurally: every flow's row ``alternative`` is dropped from the
+        CSR arrays (one multirange gather), with no ragged-table
+        recompilation. This is how a post-failure table's incidence is
+        derived from the intact table's — the result is bit-identical to
+        compiling the post-failure ragged tables from scratch.
+        """
+        n_alt = self.n_alternatives
+        if not 0 <= alternative < n_alt:
+            raise RoutingError(
+                f"no alternative {alternative} in 0..{n_alt - 1}"
+            )
+        counts = np.diff(self.indptr).reshape(self.n_flows, n_alt)
+        keep_counts = np.delete(counts, alternative, axis=1)
+        new_indptr = np.zeros(self.n_flows * (n_alt - 1) + 1, dtype=np.intp)
+        np.cumsum(keep_counts.ravel(), out=new_indptr[1:])
+        # Each flow keeps two contiguous entry ranges: the rows before and
+        # after the dropped one. Interleaving them per flow preserves the
+        # row-major storage order.
+        row0 = np.arange(self.n_flows, dtype=np.intp) * n_alt
+        starts = np.stack(
+            [self.indptr[row0], self.indptr[row0 + alternative + 1]], axis=1
+        )
+        ends = np.stack(
+            [self.indptr[row0 + alternative], self.indptr[row0 + n_alt]], axis=1
+        )
+        positions, _ = multirange_gather(starts.ravel(), ends.ravel())
+        derived = PathIncidence(
+            n_flows=self.n_flows,
+            n_alternatives=n_alt - 1,
+            n_links=self.n_links,
+            indptr=new_indptr,
+            indices=self.indices[positions],
+            entry_flow=np.repeat(
+                np.arange(self.n_flows, dtype=np.intp), keep_counts.sum(axis=1)
+            ),
+        )
+        derived.validate()
+        return derived
+
     # -- row access ----------------------------------------------------------
 
     def row_links(self, flow_index: int, alternative: int) -> np.ndarray:

@@ -33,6 +33,16 @@ class IntradomainRouting:
         self._link_cache: dict[tuple[int, int], np.ndarray] = {}
         # (src, dst) -> geographic length of the routed path
         self._length_cache: dict[tuple[int, int], float] = {}
+        # link index -> geographic length, hoisted once per instance (the
+        # distance metric reads it per path; rebuilding a dict per call was
+        # the routing layer's last per-query allocation).
+        self._link_lengths = np.asarray(
+            [link.length_km for link in isp.links], dtype=float
+        )
+        # src -> dense per-PoP views for the batched table builder
+        self._weight_array_cache: dict[int, np.ndarray] = {}
+        self._geo_array_cache: dict[int, np.ndarray] = {}
+        self._links_array_cache: dict[int, tuple[np.ndarray | None, ...]] = {}
 
     @property
     def isp(self) -> ISPTopology:
@@ -84,13 +94,17 @@ class IntradomainRouting:
         return self._link_cache[key]
 
     def geo_distance_km(self, src: int, dst: int) -> float:
-        """Geographic length of the routed path (the Section 5.1 metric)."""
+        """Geographic length of the routed path (the Section 5.1 metric).
+
+        Accumulates the per-instance link-length array sequentially in path
+        order (the summation order every derived kernel is pinned to).
+        """
         key = (src, dst)
         if key not in self._length_cache:
-            link_lengths = {link.index: link.length_km for link in self._isp.links}
-            total = float(
-                sum(link_lengths[int(i)] for i in self.path_links(src, dst))
-            )
+            lengths = self._link_lengths
+            total = 0.0
+            for i in self.path_links(src, dst):
+                total += float(lengths[i])
             self._length_cache[key] = total
         return self._length_cache[key]
 
@@ -103,3 +117,49 @@ class IntradomainRouting:
         """Pre-compute SSSP state for the given sources (optional)."""
         for src in sources:
             self._sssp(src)
+
+    # -- batched per-source views (the column-fill table builder) -------------
+
+    def weight_distance_array(self, src: int) -> np.ndarray:
+        """Weight-distance from ``src`` to every PoP as a dense (n_pops,)
+        array (NaN where no path exists). Cached per source; one gather
+        replaces a per-flow :meth:`weight_distance` call loop."""
+        cached = self._weight_array_cache.get(src)
+        if cached is None:
+            dists, _ = self._sssp(src)
+            cached = np.full(self._isp.n_pops(), np.nan)
+            cached[list(dists.keys())] = list(dists.values())
+            cached.setflags(write=False)
+            self._weight_array_cache[src] = cached
+        return cached
+
+    def geo_distance_array(self, src: int) -> np.ndarray:
+        """Geographic routed distance from ``src`` to every PoP, (n_pops,)
+        dense (NaN where unreachable). Each entry is exactly
+        :meth:`geo_distance_km`'s float, so gathered columns are
+        bit-identical to per-flow queries."""
+        cached = self._geo_array_cache.get(src)
+        if cached is None:
+            dists, _ = self._sssp(src)
+            cached = np.full(self._isp.n_pops(), np.nan)
+            for dst in dists:
+                cached[dst] = self.geo_distance_km(src, dst)
+            cached.setflags(write=False)
+            self._geo_array_cache[src] = cached
+        return cached
+
+    def path_links_array(self, src: int) -> tuple[np.ndarray | None, ...]:
+        """Routed link indices from ``src`` to every PoP, indexed by PoP
+        (``None`` where unreachable). Cached per source; entries are the
+        same cached arrays :meth:`path_links` returns, so ragged tables
+        built from this view share storage with cell-by-cell
+        construction."""
+        cached = self._links_array_cache.get(src)
+        if cached is None:
+            _, paths = self._sssp(src)
+            cached = tuple(
+                self.path_links(src, dst) if dst in paths else None
+                for dst in range(self._isp.n_pops())
+            )
+            self._links_array_cache[src] = cached
+        return cached

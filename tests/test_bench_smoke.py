@@ -21,6 +21,11 @@ from repro.core.agent import NegotiationAgent
 from repro.core.evaluators import FortzCostEvaluator, LoadAwareEvaluator
 from repro.core.session import NegotiationSession, SessionConfig
 from repro.core.strategies import ReassignEveryFraction
+from repro.optimal.bandwidth_lp import (
+    _link_constraint_rows,
+    fractional_loads,
+    solve_min_max_load_lp,
+)
 from repro.routing.costs import build_pair_cost_table
 from repro.routing.exits import early_exit_choices
 from repro.routing.flows import build_full_flowset
@@ -67,6 +72,66 @@ def test_smoke_evaluator_reassign(fixture, evaluator_cls):
     sparse.reassign(remaining)
     legacy.reassign(remaining)
     assert np.array_equal(sparse.preferences(), legacy.preferences())
+
+
+def test_smoke_batched_table_build(fixture, tiny_dataset):
+    table, *_ = fixture
+    pair = table.pair
+    flowset = build_full_flowset(pair)
+    batched = build_pair_cost_table(pair, flowset)
+    legacy = build_pair_cost_table(pair, flowset, engine="legacy")
+    assert np.array_equal(batched.up_weight, legacy.up_weight)
+    assert np.array_equal(batched.down_km, legacy.down_km)
+
+
+def test_smoke_derived_failure_table(fixture):
+    table, *_ = fixture
+    if table.n_alternatives < 2:
+        pytest.skip("needs >= 2 interconnections to fail one")
+    table.incidence("a")
+    derived = table.without_alternative(0)
+    assert derived.n_alternatives == table.n_alternatives - 1
+    assert "_incidence_a" in derived.__dict__  # structurally re-derived
+    assert np.array_equal(derived.up_weight, table.up_weight[:, 1:])
+    assert np.array_equal(
+        early_exit_choices(derived),
+        np.argmin(table.up_weight[:, 1:], axis=1),
+    )
+
+
+def test_smoke_lp_assembly_and_fractional_loads(fixture):
+    table, defaults, caps_a, caps_b = fixture
+    t_col = table.n_flows * table.n_alternatives
+    base = np.zeros(caps_a.shape[0])
+    sparse = _link_constraint_rows(table, "a", caps_a, base, 0, t_col)
+    legacy = _link_constraint_rows(
+        table, "a", caps_a, base, 0, t_col, engine="legacy"
+    )
+    for got, want in zip(sparse, legacy):
+        assert np.array_equal(np.asarray(got), np.asarray(want))
+    lp = solve_min_max_load_lp(table, caps_a, caps_b)
+    for side in "ab":
+        assert np.array_equal(
+            fractional_loads(table, lp.fractions, side),
+            fractional_loads(table, lp.fractions, side, engine="legacy"),
+        )
+
+
+def test_smoke_incremental_stop(fixture):
+    table, defaults, caps_a, _ = fixture
+    fast = NegotiationAgent(
+        "a", LoadAwareEvaluator(table, "a", caps_a, defaults)
+    )
+    slow = NegotiationAgent(
+        "a", LoadAwareEvaluator(table, "a", caps_a, defaults),
+        incremental_stop=False,
+    )
+    remaining = np.ones(table.n_flows, dtype=bool)
+    remaining[:: 2] = False
+    for reassignable in (False, True):
+        assert fast.wants_to_stop(
+            remaining, reassignable=reassignable
+        ) == slow.wants_to_stop(remaining, reassignable=reassignable)
 
 
 def test_smoke_reassigning_session(fixture):

@@ -76,6 +76,89 @@ class TestStop:
         assert not agent.wants_to_stop(np.array([True]))
 
 
+class TestIncrementalStop:
+    """The heap-backed remaining-max vs the legacy masked rescan."""
+
+    def _legacy(self, prefs):
+        return NegotiationAgent(
+            "legacy",
+            StaticPreferenceEvaluator(prefs, np.zeros(prefs.shape[0], int)),
+            incremental_stop=False,
+        )
+
+    def _incremental(self, prefs, stages=None):
+        return NegotiationAgent(
+            "fast",
+            StaticPreferenceEvaluator(
+                prefs, np.zeros(prefs.shape[0], int), stages=stages
+            ),
+        )
+
+    def test_matches_scan_over_shrinking_masks(self):
+        rng = np.random.default_rng(99)
+        prefs = rng.integers(-5, 6, size=(40, 4))
+        fast, slow = self._incremental(prefs), self._legacy(prefs)
+        remaining = np.ones(40, dtype=bool)
+        order = rng.permutation(40)
+        for f in order:
+            for reassignable in (False, True):
+                assert fast.wants_to_stop(
+                    remaining, reassignable=reassignable
+                ) == slow.wants_to_stop(remaining, reassignable=reassignable)
+            remaining[f] = False
+        assert fast.wants_to_stop(remaining)  # empty mask stops
+
+    def test_reassign_invalidates_cache(self):
+        first = np.array([[0, 3], [0, 1]])
+        second = np.array([[0, -1], [0, -2]])
+        agent = self._incremental(first, stages=[second])
+        remaining = np.ones(2, dtype=bool)
+        assert not agent.wants_to_stop(remaining)
+        agent.reassign(remaining)  # evaluator advances to the second stage
+        assert agent.wants_to_stop(remaining)
+
+    def test_mask_growth_falls_back_to_rebuild(self):
+        prefs = np.array([[0, 5], [0, -1]])
+        agent = self._incremental(prefs)
+        # First query with only the losing flow remaining...
+        assert agent.wants_to_stop(np.array([False, True]))
+        # ...then a *wider* mask (not a subset): must see flow 0 again.
+        assert not agent.wants_to_stop(np.array([True, True]))
+
+    def test_session_outcomes_identical(self):
+        """Full sessions agree whichever stop implementation runs."""
+        from repro.core.session import NegotiationSession
+
+        rng = np.random.default_rng(5)
+        prefs_a = rng.integers(-3, 4, size=(25, 3))
+        prefs_b = rng.integers(-3, 4, size=(25, 3))
+        defaults = np.zeros(25, dtype=int)
+        prefs_a[np.arange(25), defaults] = 0
+        prefs_b[np.arange(25), defaults] = 0
+
+        def run(incremental_stop):
+            session = NegotiationSession(
+                NegotiationAgent(
+                    "a", StaticPreferenceEvaluator(prefs_a, defaults),
+                    incremental_stop=incremental_stop,
+                ),
+                NegotiationAgent(
+                    "b", StaticPreferenceEvaluator(prefs_b, defaults),
+                    incremental_stop=incremental_stop,
+                ),
+                defaults=defaults,
+            )
+            outcome = session.run()
+            return (
+                outcome.choices.tolist(),
+                outcome.gain_a,
+                outcome.gain_b,
+                outcome.reason,
+            )
+
+        assert run(True) == run(False)
+
+
 class TestCommit:
     def test_commit_updates_both_ledgers(self):
         agent = make_agent([[0, 3]])

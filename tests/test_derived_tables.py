@@ -1,0 +1,236 @@
+"""Failure-case fast path: derived tables vs legacy per-case rebuilds.
+
+PR 2's contract: evaluating one interconnection failure does zero routing
+work — the post-failure cost table (dense arrays, ragged link tables,
+compiled CSR incidence, flowset) is *derived* from the pre-failure table by
+dropping the failed column, and must equal the legacy
+``build_full_flowset`` + ``build_pair_cost_table`` rebuild bit for bit,
+all the way up to complete ``BandwidthCaseResult``s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError, TrafficError
+from repro.experiments.bandwidth import (
+    _build_context,
+    run_bandwidth_case,
+    run_pair_cases,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.geo.population import PopulationModel
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices
+from repro.routing.flows import build_full_flowset
+from repro.routing.incidence import PathIncidence
+from repro.topology.dataset import build_default_dataset
+from repro.traffic.gravity import GravityWorkload
+
+
+@pytest.fixture(scope="module")
+def bandwidth_fixture():
+    """A >=3-interconnection pair with gravity sizes and its case context."""
+    config = ExperimentConfig.quick()
+    dataset = build_default_dataset(config.dataset)
+    pair = dataset.pairs(min_interconnections=3, max_pairs=1)[0]
+    workload = GravityWorkload(PopulationModel(dataset.city_db))
+    context = _build_context(pair, workload)
+    return config, pair, workload, context
+
+
+def _rebuild_post_table(context, k):
+    failed_pair = context.pair.without_interconnection(k)
+    flowset = build_full_flowset(failed_pair, context.size_fn)
+    return build_pair_cost_table(
+        failed_pair, flowset, context.routing_a, context.routing_b
+    )
+
+
+def _assert_tables_identical(derived, rebuilt):
+    assert derived.pair.name == rebuilt.pair.name
+    assert [ic.city for ic in derived.pair.interconnections] == [
+        ic.city for ic in rebuilt.pair.interconnections
+    ]
+    for name in ("up_weight", "down_weight", "up_km", "down_km", "ic_km"):
+        assert np.array_equal(getattr(derived, name), getattr(rebuilt, name)), name
+    assert np.array_equal(derived.flowset.sizes(), rebuilt.flowset.sizes())
+    for ragged_d, ragged_r in (
+        (derived.up_links, rebuilt.up_links),
+        (derived.down_links, rebuilt.down_links),
+    ):
+        assert len(ragged_d) == len(ragged_r)
+        for row_d, row_r in zip(ragged_d, ragged_r):
+            assert len(row_d) == len(row_r)
+            for links_d, links_r in zip(row_d, row_r):
+                assert np.array_equal(links_d, links_r)
+    for side in "ab":
+        inc_d, inc_r = derived.incidence(side), rebuilt.incidence(side)
+        assert np.array_equal(inc_d.indptr, inc_r.indptr)
+        assert np.array_equal(inc_d.indices, inc_r.indices)
+        assert np.array_equal(inc_d.entry_flow, inc_r.entry_flow)
+        assert inc_d.n_links == inc_r.n_links
+
+
+class TestWithoutAlternative:
+    def test_equals_legacy_rebuild(self, bandwidth_fixture):
+        _, pair, _, context = bandwidth_fixture
+        for k in range(pair.n_interconnections()):
+            derived = context.table_pre.without_alternative(k)
+            rebuilt = _rebuild_post_table(context, k)
+            _assert_tables_identical(derived, rebuilt)
+            # Early-exit decisions (ties included) must agree.
+            assert np.array_equal(
+                early_exit_choices(derived), early_exit_choices(rebuilt)
+            )
+
+    def test_incidence_derived_from_cache_not_recompiled(self, bandwidth_fixture):
+        _, _, _, context = bandwidth_fixture
+        table = context.table_pre
+        table.incidence("a")
+        derived = table.without_alternative(0)
+        # The incidence was attached eagerly (no ragged recompilation on use).
+        assert "_incidence_a" in derived.__dict__
+        assert "_incidence_b" in derived.__dict__
+
+    def test_derived_of_derived(self, bandwidth_fixture):
+        _, pair, _, context = bandwidth_fixture
+        if pair.n_interconnections() < 4:
+            pytest.skip("needs >= 4 interconnections for a double failure")
+        twice = context.table_pre.without_alternative(0).without_alternative(0)
+        rebuilt = _rebuild_post_table(context, 0)
+        rebuilt_twice = build_pair_cost_table(
+            rebuilt.pair.without_interconnection(0),
+            build_full_flowset(rebuilt.pair.without_interconnection(0),
+                               context.size_fn),
+            context.routing_a,
+            context.routing_b,
+        )
+        _assert_tables_identical(twice, rebuilt_twice)
+
+    def test_bad_index_rejected(self, bandwidth_fixture):
+        _, pair, _, context = bandwidth_fixture
+        with pytest.raises(Exception):
+            context.table_pre.without_alternative(pair.n_interconnections())
+
+    def test_incidence_without_alternative_structural(self):
+        inc = PathIncidence.from_link_table(
+            (
+                (np.array([0, 1]), np.array([2]), np.array([], dtype=np.intp)),
+                (np.array([3]), np.array([]), np.array([0, 2, 3])),
+            ),
+            n_links=4,
+            n_alternatives=3,
+        )
+        dropped = inc.without_alternative(1)
+        expected = PathIncidence.from_link_table(
+            (
+                (np.array([0, 1]), np.array([], dtype=np.intp)),
+                (np.array([3]), np.array([0, 2, 3])),
+            ),
+            n_links=4,
+            n_alternatives=2,
+        )
+        assert np.array_equal(dropped.indptr, expected.indptr)
+        assert np.array_equal(dropped.indices, expected.indices)
+        assert np.array_equal(dropped.entry_flow, expected.entry_flow)
+        with pytest.raises(RoutingError):
+            inc.without_alternative(3)
+
+
+class TestBatchedBuild:
+    def test_equals_legacy_build(self, bandwidth_fixture):
+        _, pair, workload, context = bandwidth_fixture
+        flowset = build_full_flowset(pair, workload.size_fn(pair))
+        batched = build_pair_cost_table(pair, flowset)
+        legacy = build_pair_cost_table(pair, flowset, engine="legacy")
+        _assert_tables_identical(batched, legacy)
+
+    def test_unknown_engine_rejected(self, bandwidth_fixture):
+        _, pair, _, _ = bandwidth_fixture
+        with pytest.raises(RoutingError):
+            build_pair_cost_table(pair, build_full_flowset(pair), engine="nope")
+
+
+class TestFlowsetView:
+    def test_with_pair_shares_flows_and_sizes(self, bandwidth_fixture):
+        _, pair, _, context = bandwidth_fixture
+        flowset = context.table_pre.flowset
+        reduced = pair.without_interconnection(0)
+        view = flowset.with_pair(reduced)
+        assert view.pair is reduced
+        assert view.flows is flowset.flows
+        assert view.sizes() is flowset.sizes()
+
+    def test_sizes_cached_and_read_only(self, bandwidth_fixture):
+        _, _, _, context = bandwidth_fixture
+        sizes = context.table_pre.flowset.sizes()
+        assert context.table_pre.flowset.sizes() is sizes
+        with pytest.raises(ValueError):
+            sizes[0] = 99.0
+
+    def test_with_pair_rejects_other_isps(self, bandwidth_fixture, small_pair):
+        _, _, _, context = bandwidth_fixture
+        with pytest.raises(TrafficError):
+            context.table_pre.flowset.with_pair(small_pair)
+
+
+class TestCaseEquivalence:
+    def test_full_case_results_bit_identical(self, bandwidth_fixture):
+        config, pair, _, context = bandwidth_fixture
+        for k in range(pair.n_interconnections()):
+            fast = run_bandwidth_case(
+                context, k, config,
+                include_unilateral=True, include_cheating=True,
+                include_diverse=True,
+            )
+            slow = run_bandwidth_case(
+                context, k, config,
+                include_unilateral=True, include_cheating=True,
+                include_diverse=True, derived_tables=False,
+            )
+            assert fast == slow  # dataclass ==: every field, exact floats
+
+    def test_no_per_case_rebuild_on_fast_path(
+        self, bandwidth_fixture, monkeypatch
+    ):
+        """The derived path must never route or rebuild flowsets per case."""
+        config, pair, workload, _ = bandwidth_fixture
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("per-case rebuild invoked on the fast path")
+
+        context = _build_context(pair, workload)  # before the guards go up
+        import repro.experiments.bandwidth as bw
+
+        monkeypatch.setattr(bw, "build_full_flowset", forbidden)
+        monkeypatch.setattr(bw, "build_pair_cost_table", forbidden)
+        result = run_bandwidth_case(context, 0, config)
+        assert result.n_affected >= 0
+
+    def test_run_pair_cases_honors_flag(self, bandwidth_fixture):
+        config, pair, workload, _ = bandwidth_fixture
+        fast = run_pair_cases(
+            pair, config, {"derived_tables": True}, workload
+        )
+        slow = run_pair_cases(
+            pair, config, {"derived_tables": False}, workload
+        )
+        assert fast == slow
+        assert len(fast) >= 1
+
+    def test_experiment_matches_legacy_across_workers(self):
+        """Derived tables + parallel workers vs legacy serial: identical."""
+        from dataclasses import replace
+
+        from repro.experiments.bandwidth import run_bandwidth_experiment
+
+        config = replace(ExperimentConfig.quick(), max_pairs_bandwidth=2)
+        legacy_serial = run_bandwidth_experiment(
+            config, derived_tables=False, workers=1
+        )
+        derived_serial = run_bandwidth_experiment(config, workers=1)
+        derived_parallel = run_bandwidth_experiment(config, workers=2)
+        assert derived_serial.cases == legacy_serial.cases
+        assert derived_parallel.cases == legacy_serial.cases

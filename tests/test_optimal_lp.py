@@ -8,6 +8,7 @@ from repro.errors import OptimizationError
 from repro.metrics.mel import max_excess_load
 from repro.optimal.bandwidth_lp import (
     LpRoutingResult,
+    _link_constraint_rows,
     fractional_loads,
     solve_min_max_load_lp,
 )
@@ -107,6 +108,76 @@ class TestLpValidation:
         with pytest.raises(OptimizationError):
             fractional_loads(
                 table, np.ones((table.n_flows, table.n_alternatives)), "q"
+            )
+
+
+class TestAssemblyEquivalence:
+    """Incidence-backed LP assembly vs the legacy ragged-table loops.
+
+    The vectorized assembler must emit the *same triplet sequence* as the
+    loops (not merely an equivalent matrix), and vectorized
+    ``fractional_loads`` must match the loop bit for bit — base loads and
+    entries accumulate in the legacy order.
+    """
+
+    def test_constraint_triplets_identical(self, table, caps):
+        caps_a, caps_b = caps
+        t_col = table.n_flows * table.n_alternatives
+        offset = 0
+        for side, caps_side in (("a", caps_a), ("b", caps_b)):
+            base = np.linspace(0.0, 1.0, caps_side.shape[0])
+            sparse = _link_constraint_rows(
+                table, side, caps_side, base, offset, t_col
+            )
+            legacy = _link_constraint_rows(
+                table, side, caps_side, base, offset, t_col, engine="legacy"
+            )
+            for got, want in zip(sparse, legacy):
+                assert np.array_equal(np.asarray(got), np.asarray(want))
+            offset += caps_side.shape[0]
+
+    def test_solution_identical(self, table, caps):
+        caps_a, caps_b = caps
+        base_a = np.full(caps_a.shape[0], 0.25)
+        sparse = solve_min_max_load_lp(table, caps_a, caps_b, base_a=base_a)
+        legacy = solve_min_max_load_lp(
+            table, caps_a, caps_b, base_a=base_a, engine="legacy"
+        )
+        assert sparse.t == legacy.t
+        assert np.array_equal(sparse.fractions, legacy.fractions)
+
+    def test_unilateral_engines_identical(self, table, caps):
+        caps_a, caps_b = caps
+        sparse = solve_upstream_unilateral_lp(table, caps_a, caps_b)
+        legacy = solve_upstream_unilateral_lp(
+            table, caps_a, caps_b, engine="legacy"
+        )
+        assert sparse.t == legacy.t
+        assert np.array_equal(sparse.fractions, legacy.fractions)
+
+    def test_fractional_loads_identical(self, table, caps):
+        rng = np.random.default_rng(7)
+        fractions = rng.random((table.n_flows, table.n_alternatives))
+        fractions[rng.random(fractions.shape) < 0.4] = 0.0
+        for side in "ab":
+            n_links = table.pair.isp(side).n_links()
+            for base in (None, rng.random(n_links)):
+                assert np.array_equal(
+                    fractional_loads(table, fractions, side, base),
+                    fractional_loads(
+                        table, fractions, side, base, engine="legacy"
+                    ),
+                )
+
+    def test_unknown_engine_rejected(self, table, caps):
+        with pytest.raises(OptimizationError):
+            solve_min_max_load_lp(table, *caps, engine="nope")
+        with pytest.raises(OptimizationError):
+            fractional_loads(
+                table,
+                np.ones((table.n_flows, table.n_alternatives)),
+                "a",
+                engine="nope",
             )
 
 
