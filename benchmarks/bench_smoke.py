@@ -101,6 +101,27 @@ def _case_setup(table, derived: bool):
     return lambda: legacy(routing_a, routing_b)
 
 
+def _scope_setup(table, engine: str):
+    """One failure's negotiation-scope setup, as run_bandwidth_case performs it.
+
+    Both engines end with the affected-flows sub-table, its flow-size
+    buffer and both compiled incidences (the session, the LPs and the load
+    kernels touch all of them every case), so the timings compare equal
+    amounts of delivered state. ``engine="incidence"`` derives everything
+    structurally from the warm parent; ``engine="legacy"`` rebuilds the
+    flowset flow by flow and recompiles the CSR from the ragged rows.
+    """
+    affected = np.flatnonzero(early_exit_choices(table) == 0)
+
+    def setup():
+        sub = table.subset(affected, engine=engine)
+        sub.flowset.sizes()
+        sub.incidence("a")
+        sub.incidence("b")
+
+    return setup
+
+
 def _lp_assembly(table, caps_a, caps_b, engine: str):
     """Assemble both sides' link-constraint triplets, as the LP does."""
     base_a = np.zeros(caps_a.shape[0])
@@ -185,6 +206,11 @@ def main(output: Path = DEFAULT_OUTPUT, check: bool = False) -> dict:
             _case_setup(table, derived=True),
             _case_setup(table, derived=False),
             5,
+        ),
+        "negotiation_scope_setup": (
+            _scope_setup(table, "incidence"),
+            _scope_setup(table, "legacy"),
+            10,
         ),
         "lp_assembly": (
             _lp_assembly(table, caps_a, caps_b, "sparse"),

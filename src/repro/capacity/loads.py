@@ -55,10 +55,19 @@ def link_loads(
     side: str,
     active: np.ndarray | None = None,
     engine: str = "sparse",
+    base: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-link loads in one ISP ('a' = upstream, 'b' = downstream).
 
     ``active`` optionally masks which flows are placed (default: all).
+    ``base`` optionally seeds the accumulation with precomputed loads
+    (e.g. the background traffic of a failure case), so a placement's
+    total loads derive from the base in one pass instead of recomputing
+    the base flows' contribution: the sparse engine feeds the base through
+    the scatter-add as leading per-link entries and the legacy engine
+    starts its loop from ``base.copy()``, so each link accumulates
+    ``base, flow, flow, ...`` in the identical float order — the two
+    engines stay bit-identical.
     ``engine="sparse"`` computes the whole placement in one scatter-add;
     ``engine="legacy"`` runs the original Python loop (same result, kept
     for equivalence testing).
@@ -73,12 +82,20 @@ def link_loads(
         link_table = table.down_links
     else:
         raise CapacityError(f"side must be 'a' or 'b', got {side!r}")
+    if base is not None:
+        base = np.asarray(base, dtype=float)
+        if base.shape != (n_links,):
+            raise CapacityError(
+                f"base must have shape ({n_links},), got {base.shape}"
+            )
 
     sizes = table.flowset.sizes()
     if engine == "sparse":
-        return table.incidence(side).accumulate_loads(choices, sizes, active)
+        return table.incidence(side).accumulate_loads(
+            choices, sizes, active, base=base
+        )
 
-    loads = np.zeros(n_links)
+    loads = np.zeros(n_links) if base is None else base.copy()
     for flow in table.flowset:
         if active is not None and not active[flow.index]:
             continue

@@ -23,6 +23,18 @@ pair's pre-failure table by dropping the failed column
 and compiled CSR incidence included, which is bit-identical to the legacy
 per-case rebuild (``derived_tables=False``: ``build_full_flowset`` +
 ``build_pair_cost_table`` per case, kept for the equivalence tests).
+
+Negotiation-scope fast path: step 3 negotiates over the affected flows
+only, and the sub-table it hands to the session, the joint/unilateral LPs
+and the load kernels is *derived* too — ``table_post.subset`` row-filters
+the dense arrays, the flowset (an array-backed view) and the already
+compiled CSR incidence (:meth:`~repro.routing.incidence.PathIncidence.subset_rows`),
+so the per-case negotiation setup performs zero ragged recompilation end to
+end (``subset_engine="legacy"`` forces the per-flow rebuild for the
+equivalence tests). Default-routing loads are likewise derived from the
+just-computed background loads (``link_loads(..., base=...)``) instead of
+a second full pass, and a failure that affects no flow short-circuits to
+the default MELs without spinning up the LP or a zero-flow session.
 """
 
 from __future__ import annotations
@@ -272,7 +284,8 @@ def run_pair_cases(
     The single per-pair unit of the experiment sweep — both the serial
     loop and the parallel workers call exactly this, so the two paths
     cannot drift apart. ``flags`` carries the per-case keyword arguments
-    of :func:`run_bandwidth_case` (``include_*``, ``derived_tables``).
+    of :func:`run_bandwidth_case` (``include_*``, ``derived_tables``,
+    ``subset_engine``).
     """
     context = _build_context(pair, workload, provisioner)
     n_fail = pair.n_interconnections()
@@ -290,13 +303,18 @@ def run_bandwidth_case(
     include_cheating: bool = False,
     include_diverse: bool = False,
     derived_tables: bool = True,
+    subset_engine: str = "incidence",
 ) -> BandwidthCaseResult:
     """Evaluate one interconnection failure (see module docstring).
 
     ``derived_tables=True`` (default) derives the post-failure cost table
     from the pair context's pre-failure table instead of re-routing the
-    flowset; ``False`` forces the legacy per-case rebuild. Results are
-    bit-identical either way.
+    flowset; ``False`` forces the legacy per-case rebuild.
+    ``subset_engine`` selects the negotiation-scope derivation
+    (:meth:`~repro.routing.costs.PairCostTable.subset`): ``"incidence"``
+    (default) filters the compiled CSR structurally, ``"legacy"`` rebuilds
+    the sub-table flow by flow. Results are bit-identical for every
+    combination.
     """
     config = config or ExperimentConfig()
     if isinstance(context_or_pair, IspPair):
@@ -328,13 +346,56 @@ def run_bandwidth_case(
     base_a = link_loads(table_post, default_post, "a", active=~affected)
     base_b = link_loads(table_post, default_post, "b", active=~affected)
 
-    # Default routing MEL (early-exit re-route of the affected flows).
-    loads_def_a = link_loads(table_post, default_post, "a")
-    loads_def_b = link_loads(table_post, default_post, "b")
+    # Default routing MEL (early-exit re-route of the affected flows),
+    # derived from the background loads just computed: seed with base and
+    # accumulate only the affected flows' contribution, instead of a second
+    # full link_loads pass over every flow. Per link the floats accumulate
+    # base-first then affected flows in order (the seeded legacy loop's
+    # order, identical across engines and across derived_tables paths) —
+    # not the interleaved order of the removed full pass.
+    loads_def_a = link_loads(
+        table_post, default_post, "a", active=affected, base=base_a
+    )
+    loads_def_b = link_loads(
+        table_post, default_post, "b", active=affected, base=base_b
+    )
     mel_def_a = max_excess_load(loads_def_a, context.caps_a)
     mel_def_b = max_excess_load(loads_def_b, context.caps_b)
 
-    sub_table = table_post.subset(affected_idx)
+    if affected_idx.size == 0:
+        # Degenerate failure: no flow defaulted to the failed
+        # interconnection, so there is nothing to re-route — every method
+        # keeps the default placement, and the best achievable joint MEL is
+        # the base state itself (the LP with no flow variables reduces to
+        # ``t >= base_l / cap_l`` over both ISPs' links).
+        result = BandwidthCaseResult(
+            pair_name=pair.name,
+            failed_city=failed_city,
+            n_affected=0,
+            mel_default_a=mel_def_a,
+            mel_default_b=mel_def_b,
+            mel_negotiated_a=mel_def_a,
+            mel_negotiated_b=mel_def_b,
+            mel_opt_a=mel_def_a,
+            mel_opt_b=mel_def_b,
+            mel_opt_joint=max(mel_def_a, mel_def_b),
+        )
+        if include_unilateral:
+            result.mel_unilateral_a = mel_def_a
+            result.mel_unilateral_b = mel_def_b
+        if include_cheating:
+            result.mel_cheat_a = mel_def_a
+            result.mel_cheat_b = mel_def_b
+        if include_diverse:
+            result.mel_diverse_a = mel_def_a
+            result.diverse_downstream_gain_pct = 0.0
+        return result
+
+    # The negotiation scope: a warm sub-table over the affected flows only
+    # (dense rows gathered, flowset reindexed as a view, compiled CSR
+    # incidence row-filtered) — the session, LPs and load kernels below
+    # trigger no recompilation.
+    sub_table = table_post.subset(affected_idx, engine=subset_engine)
     defaults_sub = default_post[affected_idx]
 
     # Globally optimal (fractional LP over both ISPs).

@@ -79,6 +79,10 @@ def _link_constraint_rows(
     ``sizes[entry_flow]`` — produced in exactly the (flow, alternative,
     path-order) sequence the legacy loop emits. ``engine="legacy"`` keeps
     the original ragged-table loop for the equivalence tests.
+
+    Negotiation sub-tables arrive warm (``PairCostTable.subset`` re-derives
+    the compiled incidence structurally), so ``table.incidence(side)`` here
+    is a cache hit — the assembler performs no ragged recompilation.
     """
     n_links = caps.shape[0]
     if engine == "legacy":
@@ -147,8 +151,6 @@ def solve_min_max_load_lp(
     """
     _validate_assembly_engine(engine)
     n_f, n_i = table.n_flows, table.n_alternatives
-    if n_f == 0:
-        return LpRoutingResult(t=0.0, fractions=np.zeros((0, n_i)))
     caps_a = np.asarray(caps_a, dtype=float)
     caps_b = np.asarray(caps_b, dtype=float)
     n_links_a = table.pair.isp_a.n_links()
@@ -164,6 +166,17 @@ def solve_min_max_load_lp(
     for name, side_sel in (("a", base_a), ("b", base_b)):
         if np.any(side_sel < 0):
             raise OptimizationError(f"base loads ({name}) must be non-negative")
+    if n_f == 0:
+        # No flow variables: the LP degenerates to ``t >= base_l / cap_l``
+        # for every link in the objective sides, so the optimum is the base
+        # state itself — not 0.0, which would understate loaded networks.
+        t = 0.0
+        for side in sides:
+            caps = caps_a if side == "a" else caps_b
+            base = base_a if side == "a" else base_b
+            if caps.size:
+                t = max(t, float((base / caps).max()))
+        return LpRoutingResult(t=t, fractions=np.zeros((0, n_i)))
 
     n_x = n_f * n_i
     t_col = n_x

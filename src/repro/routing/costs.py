@@ -22,11 +22,21 @@ and :mod:`repro.routing.incidence`. The incidence structures are built
 lazily on first use and cached per (table, side), so tables that never
 touch the bandwidth machinery pay nothing.
 
-Failure cases never rebuild tables at all: a post-failure table is this
-table with one column removed, and :meth:`PairCostTable.without_alternative`
-derives it — dense arrays sliced, ragged rows shortened, any compiled
-incidence filtered structurally — bit-identical to a from-scratch rebuild
-over the reduced pair.
+Failure cases never rebuild tables at all — derived tables cover both axes
+of the (F, I) space:
+
+* **column axis** — a post-failure table is this table with one column
+  removed; :meth:`PairCostTable.without_alternative` derives it (dense
+  arrays sliced, ragged rows shortened, any compiled incidence filtered
+  structurally via :meth:`PathIncidence.without_alternative`);
+* **flow axis** — a negotiation scope is this table with only the affected
+  flow rows; :meth:`PairCostTable.subset` derives it (dense arrays
+  row-gathered, ragged rows aliased, flowset reindexed as an array-backed
+  view, any compiled incidence filtered via
+  :meth:`PathIncidence.subset_rows`).
+
+Both derivations are bit-identical to a from-scratch rebuild, which stays
+behind ``engine="legacy"`` flags for the equivalence tests.
 """
 
 from __future__ import annotations
@@ -36,7 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import RoutingError
-from repro.routing.flows import FlowSet
+from repro.routing.flows import Flow, FlowSet
 from repro.routing.incidence import PathIncidence
 from repro.routing.paths import IntradomainRouting
 from repro.topology.interconnect import IspPair
@@ -139,25 +149,76 @@ class PairCostTable:
         derived.validate()
         return derived
 
-    def subset(self, indices: np.ndarray) -> "PairCostTable":
+    def subset(
+        self, indices: np.ndarray, engine: str = "incidence"
+    ) -> "PairCostTable":
         """A reindexed table containing only the given flow rows.
 
         Used by the bandwidth experiment to negotiate over just the flows
         affected by a failure without recomputing any shortest paths.
+
+        ``engine="incidence"`` (default) derives everything structurally:
+        the dense arrays are row-gathered, the ragged link rows aliased,
+        the flowset becomes an array-backed reindexing view
+        (:meth:`FlowSet.subset`), and any compiled CSR incidence is
+        re-derived by filtering its rows
+        (:meth:`PathIncidence.subset_rows`) instead of being dropped — the
+        negotiation machinery of a failure case starts warm, with zero
+        ragged recompilation. ``engine="legacy"`` keeps the original
+        per-flow Python rebuild (the incidence recompiles lazily from the
+        ragged rows); both engines produce bit-identical tables.
+
+        Indices must be unique and within ``0..F-1``; out-of-range,
+        negative and duplicate indices raise :class:`RoutingError`.
         """
-        indices = np.asarray(indices, dtype=np.intp)
-        sub_flowset = self.flowset.subset([int(i) for i in indices])
-        return PairCostTable(
+        if engine not in _SUBSET_ENGINES:
+            raise RoutingError(
+                f"engine must be one of {_SUBSET_ENGINES}, got {engine!r}"
+            )
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.ndim != 1:
+            raise RoutingError(
+                f"subset flow indices must be 1-D, got shape {idx.shape}"
+            )
+        if idx.size:
+            lo, hi = int(idx.min()), int(idx.max())
+            if lo < 0 or hi >= self.n_flows:
+                raise RoutingError(
+                    f"subset flow indices must be in 0..{self.n_flows - 1}, "
+                    f"got values spanning [{lo}, {hi}]"
+                )
+            if np.unique(idx).size != idx.size:
+                raise RoutingError("subset flow indices contain duplicates")
+        if engine == "legacy":
+            sub_flowset = FlowSet(
+                self.pair,
+                [
+                    Flow(index=new, src=old.src, dst=old.dst, size=old.size)
+                    for new, old in enumerate(
+                        self.flowset[int(i)] for i in idx
+                    )
+                ],
+            )
+        else:
+            sub_flowset = self.flowset._subset_view(idx)  # idx validated above
+        rows = idx.tolist()
+        derived = PairCostTable(
             pair=self.pair,
             flowset=sub_flowset,
-            up_weight=self.up_weight[indices].copy(),
-            down_weight=self.down_weight[indices].copy(),
-            up_km=self.up_km[indices].copy(),
-            down_km=self.down_km[indices].copy(),
+            up_weight=self.up_weight[idx],
+            down_weight=self.down_weight[idx],
+            up_km=self.up_km[idx],
+            down_km=self.down_km[idx],
             ic_km=self.ic_km.copy(),
-            up_links=tuple(self.up_links[int(i)] for i in indices),
-            down_links=tuple(self.down_links[int(i)] for i in indices),
+            up_links=tuple(self.up_links[i] for i in rows),
+            down_links=tuple(self.down_links[i] for i in rows),
         )
+        if engine == "incidence":
+            for attr in ("_incidence_a", "_incidence_b"):
+                cached = self.__dict__.get(attr)
+                if cached is not None:
+                    object.__setattr__(derived, attr, cached.subset_rows(idx))
+        return derived
 
     def validate(self) -> None:
         f, i = self.up_weight.shape
@@ -172,6 +233,7 @@ class PairCostTable:
 
 
 _BUILD_ENGINES = ("batched", "legacy")
+_SUBSET_ENGINES = ("incidence", "legacy")
 
 
 def build_pair_cost_table(
@@ -241,8 +303,8 @@ def build_pair_cost_table(
         up_links = tuple(up_links_l)
         down_links = tuple(down_links_l)
     else:
-        srcs = np.fromiter((f.src for f in flowset), dtype=np.intp, count=n_f)
-        dsts = np.fromiter((f.dst for f in flowset), dtype=np.intp, count=n_f)
+        srcs = flowset.srcs()
+        dsts = flowset.dsts()
         links_up_cols: list[tuple[np.ndarray | None, ...]] = []
         links_down_cols: list[tuple[np.ndarray | None, ...]] = []
         for i, ic in enumerate(ics):

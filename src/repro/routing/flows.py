@@ -6,6 +6,15 @@ the same path. The experiments use one flow per (source PoP, destination
 PoP) pair per direction; flow sizes come from the traffic substrate (gravity
 model) for the bandwidth experiments and are uniform for the distance
 experiments.
+
+A :class:`FlowSet` is authored from :class:`Flow` objects but served from
+arrays: ``srcs()``/``dsts()``/``sizes()`` expose cached read-only buffers
+that every hot kernel (cost-table build, load accumulation, LP assembly,
+session bookkeeping) consumes directly. Derived flowsets —
+:meth:`FlowSet.with_pair` for failure cases, :meth:`FlowSet.subset` for
+negotiation scopes — are array-backed reindexing views that never rebuild
+per-flow Python objects; the ``Flow`` tuple is materialized lazily only if
+a legacy loop iterates the set.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import TrafficError
+from repro.errors import ConfigurationError, TrafficError
 from repro.topology.interconnect import IspPair
 
 __all__ = ["Flow", "FlowSet", "build_full_flowset"]
@@ -44,6 +53,11 @@ class Flow:
             raise TrafficError(f"flow size must be > 0, got {self.size}")
 
 
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
 class FlowSet:
     """An ordered collection of flows for one (pair, direction).
 
@@ -54,7 +68,10 @@ class FlowSet:
 
     def __init__(self, pair: IspPair, flows: Sequence[Flow]):
         self._pair = pair
-        self._flows: tuple[Flow, ...] = tuple(flows)
+        self._flows: tuple[Flow, ...] | None = tuple(flows)
+        self._n = len(self._flows)
+        self._srcs: np.ndarray | None = None
+        self._dsts: np.ndarray | None = None
         self._sizes: np.ndarray | None = None
         n_a = pair.isp_a.n_pops()
         n_b = pair.isp_b.n_pops()
@@ -66,22 +83,76 @@ class FlowSet:
             if not 0 <= flow.dst < n_b:
                 raise TrafficError(f"flow {pos}: unknown destination PoP {flow.dst}")
 
+    @classmethod
+    def _from_arrays(
+        cls,
+        pair: IspPair,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        sizes: np.ndarray,
+    ) -> "FlowSet":
+        """Internal: an array-backed view over already-validated flow data.
+
+        The ``Flow`` tuple is *not* built here; :attr:`flows` materializes
+        it lazily if a legacy consumer iterates the set. All three buffers
+        are stored read-only and served as-is by the accessors.
+        """
+        view = object.__new__(cls)
+        view._pair = pair
+        view._flows = None
+        view._n = int(srcs.size)
+        view._srcs = _read_only(srcs)
+        view._dsts = _read_only(dsts)
+        view._sizes = _read_only(sizes)
+        return view
+
     @property
     def pair(self) -> IspPair:
         return self._pair
 
     @property
     def flows(self) -> tuple[Flow, ...]:
+        if self._flows is None:
+            self._flows = tuple(
+                Flow(index=index, src=src, dst=dst, size=size)
+                for index, (src, dst, size) in enumerate(
+                    zip(
+                        self._srcs.tolist(),
+                        self._dsts.tolist(),
+                        self._sizes.tolist(),
+                    )
+                )
+            )
         return self._flows
 
     def __len__(self) -> int:
-        return len(self._flows)
+        return self._n
 
     def __iter__(self) -> Iterator[Flow]:
-        return iter(self._flows)
+        return iter(self.flows)
 
     def __getitem__(self, index: int) -> Flow:
-        return self._flows[index]
+        return self.flows[index]
+
+    def srcs(self) -> np.ndarray:
+        """Source PoP indices as an intp array (F,), built once and shared."""
+        if self._srcs is None:
+            self._srcs = _read_only(
+                np.fromiter(
+                    (f.src for f in self._flows), dtype=np.intp, count=self._n
+                )
+            )
+        return self._srcs
+
+    def dsts(self) -> np.ndarray:
+        """Destination PoP indices as an intp array (F,), built once and shared."""
+        if self._dsts is None:
+            self._dsts = _read_only(
+                np.fromiter(
+                    (f.dst for f in self._flows), dtype=np.intp, count=self._n
+                )
+            )
+        return self._dsts
 
     def sizes(self) -> np.ndarray:
         """Flow sizes as a float array (F,), built once and shared.
@@ -91,9 +162,9 @@ class FlowSet:
         re-materializing it from the Flow objects per call.
         """
         if self._sizes is None:
-            sizes = np.asarray([f.size for f in self._flows], dtype=float)
-            sizes.setflags(write=False)
-            self._sizes = sizes
+            self._sizes = _read_only(
+                np.asarray([f.size for f in self._flows], dtype=float)
+            )
         return self._sizes
 
     def total_size(self) -> float:
@@ -115,19 +186,56 @@ class FlowSet:
             raise TrafficError(
                 f"cannot rebind flows of {self._pair.name} to {pair.name}"
             )
-        view = FlowSet(pair, self._flows)
+        view = object.__new__(FlowSet)
+        view._pair = pair
+        view._flows = self._flows  # share the tuple if already materialized
+        view._n = self._n
+        view._srcs = self._srcs
+        view._dsts = self._dsts
         view._sizes = self.sizes()  # share the cached read-only buffer
         return view
 
-    def subset(self, indices: Sequence[int]) -> "FlowSet":
-        """A reindexed FlowSet containing only the given flow indices."""
-        picked = []
-        for new_index, old_index in enumerate(indices):
-            old = self._flows[old_index]
-            picked.append(
-                Flow(index=new_index, src=old.src, dst=old.dst, size=old.size)
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "FlowSet":
+        """A reindexed view containing only the given flow indices.
+
+        This is the flow-axis analogue of
+        :meth:`~repro.routing.costs.PairCostTable.without_alternative`'s
+        structural derivation: the view is assembled by fancy-indexing the
+        cached ``srcs``/``dsts``/``sizes`` buffers — no per-flow ``Flow``
+        rebuild, no re-validation loop. Selection order is preserved.
+
+        Indices must be unique and within ``0..F-1``; anything else
+        (including negative indices, which raw list indexing used to alias
+        to the end of the set) raises :class:`ConfigurationError`.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.ndim != 1:
+            raise ConfigurationError(
+                f"flow subset indices must be 1-D, got shape {idx.shape}"
             )
-        return FlowSet(self._pair, picked)
+        if idx.size:
+            lo, hi = int(idx.min()), int(idx.max())
+            if lo < 0 or hi >= self._n:
+                raise ConfigurationError(
+                    f"flow subset indices must be in 0..{self._n - 1}, "
+                    f"got values spanning [{lo}, {hi}]"
+                )
+            if np.unique(idx).size != idx.size:
+                raise ConfigurationError(
+                    "flow subset indices contain duplicates"
+                )
+        return self._subset_view(idx)
+
+    def _subset_view(self, idx: np.ndarray) -> "FlowSet":
+        """Internal: the reindexing view for already-validated intp indices.
+
+        :meth:`~repro.routing.costs.PairCostTable.subset` validates the
+        index set once for the whole table and builds its flowset through
+        this, so the hot per-failure-case path pays a single validation.
+        """
+        return FlowSet._from_arrays(
+            self._pair, self.srcs()[idx], self.dsts()[idx], self.sizes()[idx]
+        )
 
 
 def build_full_flowset(

@@ -211,6 +211,45 @@ class PathIncidence:
         derived.validate()
         return derived
 
+    def subset_rows(self, flows: np.ndarray) -> "PathIncidence":
+        """The incidence restricted to the given flows, derived structurally.
+
+        The flow-axis counterpart of :meth:`without_alternative`: the
+        selected flows' contiguous row blocks are gathered from the CSR
+        arrays (one multirange gather) and reindexed to ``0..K-1`` in
+        selection order — no ragged-table recompilation. This is how a
+        negotiation sub-table's incidence is derived from its parent's;
+        the result is bit-identical to compiling the sub-table's ragged
+        link rows from scratch.
+
+        ``flows`` may be in any order but must be within ``0..F-1``.
+        """
+        flows = np.asarray(flows, dtype=np.intp)
+        if flows.ndim != 1:
+            raise RoutingError(
+                f"subset flow indices must be 1-D, got shape {flows.shape}"
+            )
+        if flows.size and (
+            flows.min() < 0 or flows.max() >= self.n_flows
+        ):
+            raise RoutingError(
+                f"subset flow indices must be in 0..{self.n_flows - 1}"
+            )
+        positions, row_ptr = self.flow_entries(flows)
+        per_flow = np.diff(row_ptr[:: self.n_alternatives])
+        derived = PathIncidence(
+            n_flows=int(flows.size),
+            n_alternatives=self.n_alternatives,
+            n_links=self.n_links,
+            indptr=row_ptr,
+            indices=self.indices[positions],
+            entry_flow=np.repeat(
+                np.arange(flows.size, dtype=np.intp), per_flow
+            ),
+        )
+        derived.validate()
+        return derived
+
     # -- row access ----------------------------------------------------------
 
     def row_links(self, flow_index: int, alternative: int) -> np.ndarray:
@@ -223,7 +262,8 @@ class PathIncidence:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Entry positions and row pointers for all rows of ``flows``.
 
-        ``flows`` is an ascending array of flow ids. Returns
+        ``flows`` is an array of flow ids, in any order; selection order is
+        preserved in the gather. Returns
         ``(positions, row_ptr)``: ``positions`` indexes ``indices`` /
         ``entry_flow`` for every entry of the selected flows (in selection
         order), and ``row_ptr`` is a ``(len(flows) * I + 1,)`` pointer array
@@ -253,6 +293,7 @@ class PathIncidence:
         choices: np.ndarray,
         sizes: np.ndarray,
         active: np.ndarray | None = None,
+        base: np.ndarray | None = None,
     ) -> np.ndarray:
         """Per-link loads of a placement in one scatter-add.
 
@@ -260,6 +301,11 @@ class PathIncidence:
         flow sizes; ``active`` optionally masks which flows are placed.
         Entries accumulate in (flow, path) order, matching the legacy
         double loop bit for bit.
+
+        ``base`` optionally seeds each link's accumulator: the base loads
+        enter the bincount as leading per-link entries, so link ``l``
+        accumulates ``base[l], entry, entry, ...`` sequentially — exactly
+        the float order of the legacy ``loads = base.copy()`` loop.
         """
         choices = np.asarray(choices, dtype=np.intp)
         if active is None:
@@ -270,10 +316,21 @@ class PathIncidence:
         positions, counts = multirange_gather(
             self.indptr[rows], self.indptr[rows + 1]
         )
-        loads = np.zeros(self.n_links)
+        if base is None:
+            loads = np.zeros(self.n_links)
+            if positions.size:
+                weights = np.repeat(sizes[flows], counts)
+                loads += np.bincount(
+                    self.indices[positions],
+                    weights=weights,
+                    minlength=self.n_links,
+                )
+            return loads
+        bins = np.arange(self.n_links, dtype=np.intp)
+        weights = np.asarray(base, dtype=float)
         if positions.size:
-            weights = np.repeat(sizes[flows], counts)
-            loads += np.bincount(
-                self.indices[positions], weights=weights, minlength=self.n_links
+            bins = np.concatenate([bins, self.indices[positions]])
+            weights = np.concatenate(
+                [weights, np.repeat(sizes[flows], counts)]
             )
-        return loads
+        return np.bincount(bins, weights=weights, minlength=self.n_links)

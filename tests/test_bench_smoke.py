@@ -99,6 +99,35 @@ def test_smoke_derived_failure_table(fixture):
     )
 
 
+def test_smoke_negotiation_scope_setup(fixture):
+    table, defaults, _, _ = fixture
+    table.incidence("a")
+    table.incidence("b")
+    affected = np.flatnonzero(defaults == 0)
+    fast = table.subset(affected)
+    legacy = table.subset(affected, engine="legacy")
+    assert "_incidence_a" in fast.__dict__  # structurally re-derived
+    assert "_incidence_b" in fast.__dict__
+    for side in "ab":
+        fast_inc, legacy_inc = fast.incidence(side), legacy.incidence(side)
+        assert np.array_equal(fast_inc.indptr, legacy_inc.indptr)
+        assert np.array_equal(fast_inc.indices, legacy_inc.indices)
+        assert np.array_equal(fast_inc.entry_flow, legacy_inc.entry_flow)
+    assert np.array_equal(fast.flowset.sizes(), legacy.flowset.sizes())
+    assert np.array_equal(fast.up_weight, legacy.up_weight)
+
+
+def test_smoke_base_seeded_link_loads(fixture):
+    table, defaults, _, _ = fixture
+    mask = np.arange(table.n_flows) % 2 == 0
+    base = link_loads(table, defaults, "a", active=~mask)
+    assert np.array_equal(
+        link_loads(table, defaults, "a", active=mask, base=base),
+        link_loads(table, defaults, "a", active=mask, base=base,
+                   engine="legacy"),
+    )
+
+
 def test_smoke_lp_assembly_and_fractional_loads(fixture):
     table, defaults, caps_a, caps_b = fixture
     t_col = table.n_flows * table.n_alternatives

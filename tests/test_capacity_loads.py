@@ -44,6 +44,27 @@ class TestLinkLoads:
         other = link_loads(table, choices, "a", active=~half_mask)
         assert np.allclose(half + other, full)
 
+    def test_base_seeds_accumulation(self, table):
+        """Seeded accumulation: base + masked flows, both engines bit-equal."""
+        choices = early_exit_choices(table)
+        mask = np.arange(table.n_flows) % 2 == 0
+        base = link_loads(table, choices, "a", active=~mask)
+        seeded = link_loads(table, choices, "a", active=mask, base=base)
+        seeded_legacy = link_loads(
+            table, choices, "a", active=mask, base=base, engine="legacy"
+        )
+        assert np.array_equal(seeded, seeded_legacy)
+        assert np.allclose(seeded, link_loads(table, choices, "a"))
+        # base with no active flows passes through exactly.
+        none = link_loads(
+            table, choices, "a", active=np.zeros(table.n_flows, bool), base=base
+        )
+        assert np.array_equal(none, base)
+
+    def test_base_shape_validated(self, table):
+        with pytest.raises(CapacityError):
+            link_loads(table, early_exit_choices(table), "a", base=np.zeros(3))
+
     def test_bad_side(self, table):
         with pytest.raises(CapacityError):
             link_loads(table, early_exit_choices(table), "x")

@@ -1,11 +1,18 @@
 """Failure-case fast path: derived tables vs legacy per-case rebuilds.
 
-PR 2's contract: evaluating one interconnection failure does zero routing
-work — the post-failure cost table (dense arrays, ragged link tables,
-compiled CSR incidence, flowset) is *derived* from the pre-failure table by
-dropping the failed column, and must equal the legacy
-``build_full_flowset`` + ``build_pair_cost_table`` rebuild bit for bit,
-all the way up to complete ``BandwidthCaseResult``s.
+The derive-don't-recompute contract, on both axes of the (F, I) space:
+
+* column axis — evaluating one interconnection failure does zero routing
+  work; the post-failure cost table (dense arrays, ragged link tables,
+  compiled CSR incidence, flowset) is *derived* from the pre-failure table
+  by dropping the failed column, and must equal the legacy
+  ``build_full_flowset`` + ``build_pair_cost_table`` rebuild bit for bit;
+* flow axis — restricting negotiation to the affected flows does zero
+  recompilation; ``PairCostTable.subset`` row-filters the table, the
+  array-backed flowset view and the compiled incidence, and must equal the
+  legacy per-flow rebuild (``engine="legacy"``) bit for bit.
+
+Both contracts hold all the way up to complete ``BandwidthCaseResult``s.
 """
 
 from __future__ import annotations
@@ -174,6 +181,106 @@ class TestFlowsetView:
         _, _, _, context = bandwidth_fixture
         with pytest.raises(TrafficError):
             context.table_pre.flowset.with_pair(small_pair)
+
+
+class TestSubsetEquivalence:
+    """Flow-axis structural derivation: subset(engine="incidence") vs legacy."""
+
+    @staticmethod
+    def _index_sets(n_flows):
+        return [
+            np.array([0]),  # singleton, first row
+            np.array([n_flows - 1]),  # singleton, last row
+            np.arange(0, n_flows, 3),  # non-contiguous stride
+            np.array([0, 1, n_flows // 2, n_flows - 1]),  # scattered
+            np.arange(n_flows),  # full range
+            np.arange(n_flows)[::-1].copy(),  # full range, reordered
+        ]
+
+    def test_equals_legacy_rebuild(self, bandwidth_fixture):
+        _, _, _, context = bandwidth_fixture
+        table = context.table_pre
+        table.incidence("a")
+        table.incidence("b")
+        for idx in self._index_sets(table.n_flows):
+            derived = table.subset(idx)
+            legacy = table.subset(idx, engine="legacy")
+            _assert_tables_identical(derived, legacy)
+
+    def test_incidence_derived_from_cache_not_recompiled(self, bandwidth_fixture):
+        _, _, _, context = bandwidth_fixture
+        table = context.table_pre
+        table.incidence("a")
+        table.incidence("b")
+        derived = table.subset(np.array([0, 2]))
+        # Attached eagerly by the structural filter, not lazily recompiled.
+        assert "_incidence_a" in derived.__dict__
+        assert "_incidence_b" in derived.__dict__
+        legacy = table.subset(np.array([0, 2]), engine="legacy")
+        assert "_incidence_a" not in legacy.__dict__
+
+    def test_subset_of_derived_failure_table(self, bandwidth_fixture):
+        """The bandwidth composition: without_alternative then subset."""
+        _, _, _, context = bandwidth_fixture
+        table = context.table_pre
+        table.incidence("a")
+        table.incidence("b")
+        post = table.without_alternative(0)
+        idx = np.arange(0, post.n_flows, 2)
+        _assert_tables_identical(
+            post.subset(idx), post.subset(idx, engine="legacy")
+        )
+
+    def test_incidence_subset_rows_structural(self):
+        link_table = (
+            (np.array([0, 1]), np.array([2]), np.array([], dtype=np.intp)),
+            (np.array([3]), np.array([], dtype=np.intp), np.array([0, 2, 3])),
+            (np.array([1, 3]), np.array([0]), np.array([2])),
+        )
+        inc = PathIncidence.from_link_table(link_table, n_links=4, n_alternatives=3)
+        for rows in ([1], [2, 0], [0, 1, 2], []):
+            derived = inc.subset_rows(np.asarray(rows, dtype=np.intp))
+            expected = PathIncidence.from_link_table(
+                tuple(link_table[r] for r in rows), n_links=4, n_alternatives=3
+            )
+            assert np.array_equal(derived.indptr, expected.indptr), rows
+            assert np.array_equal(derived.indices, expected.indices), rows
+            assert np.array_equal(derived.entry_flow, expected.entry_flow), rows
+        with pytest.raises(RoutingError):
+            inc.subset_rows(np.array([3]))
+        with pytest.raises(RoutingError):
+            inc.subset_rows(np.array([-1]))
+
+    def test_case_results_bit_identical_across_subset_engines(
+        self, bandwidth_fixture
+    ):
+        config, pair, _, context = bandwidth_fixture
+        for k in range(pair.n_interconnections()):
+            includes = dict(
+                include_unilateral=(k == 0),
+                include_cheating=(k == 0),
+                include_diverse=(k == 0),
+            )
+            fast = run_bandwidth_case(context, k, config, **includes)
+            legacy_scope = run_bandwidth_case(
+                context, k, config, subset_engine="legacy", **includes
+            )
+            assert fast == legacy_scope  # dataclass ==: every field, exact floats
+
+    def test_no_recompilation_end_to_end(self, bandwidth_fixture, monkeypatch):
+        """A warm context's case must never compile a ragged link table."""
+        config, pair, workload, _ = bandwidth_fixture
+        context = _build_context(pair, workload)  # compiles both incidences
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("ragged incidence compilation on the fast path")
+
+        monkeypatch.setattr(PathIncidence, "from_link_table", forbidden)
+        result = run_bandwidth_case(
+            context, 0, config, include_unilateral=True,
+            include_cheating=True, include_diverse=True,
+        )
+        assert result.n_affected >= 0
 
 
 class TestCaseEquivalence:

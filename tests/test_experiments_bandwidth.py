@@ -78,6 +78,55 @@ class TestCase:
         assert case.failed_city == pair.interconnections[0].city
 
 
+class TestDegenerateFailure:
+    """A failure that affects no flow returns the default MELs cleanly.
+
+    Regression: the zero-flow sub-table used to be fed through the LP and
+    the negotiation loop, reporting a bogus ``mel_opt_joint`` of 0.0 (the
+    empty LP ignored the base loads).
+    """
+
+    @pytest.fixture()
+    def degenerate(self, pair, config, workload):
+        from dataclasses import replace
+
+        from repro.experiments.bandwidth import _build_context
+
+        context = _build_context(pair, workload)
+        # Re-home every flow whose early-exit default is interconnection 0:
+        # failing it then affects no flow at all.
+        forced = np.asarray(context.default_pre).copy()
+        forced[forced == 0] = 1
+        context = replace(context, default_pre=forced)
+        return run_bandwidth_case(
+            context, 0, config,
+            include_unilateral=True, include_cheating=True,
+            include_diverse=True,
+        )
+
+    def test_no_affected_flows(self, degenerate):
+        assert degenerate.n_affected == 0
+
+    def test_every_method_keeps_default_mels(self, degenerate):
+        r = degenerate
+        assert r.mel_negotiated_a == r.mel_default_a
+        assert r.mel_negotiated_b == r.mel_default_b
+        assert r.mel_opt_a == r.mel_default_a
+        assert r.mel_opt_b == r.mel_default_b
+        assert r.mel_unilateral_a == r.mel_default_a
+        assert r.mel_unilateral_b == r.mel_default_b
+        assert r.mel_cheat_a == r.mel_default_a
+        assert r.mel_cheat_b == r.mel_default_b
+        assert r.mel_diverse_a == r.mel_default_a
+        assert r.diverse_downstream_gain_pct == 0.0
+
+    def test_joint_optimum_is_base_state(self, degenerate):
+        assert degenerate.mel_opt_joint == max(
+            degenerate.mel_default_a, degenerate.mel_default_b
+        )
+        assert degenerate.mel_opt_joint > 0
+
+
 class TestCaseValidation:
     def test_two_ic_pair_rejected(self, dataset, config, workload):
         pairs = dataset.pairs(min_interconnections=2)

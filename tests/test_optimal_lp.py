@@ -77,6 +77,24 @@ class TestLpBasics:
         assert result.t == 0.0
         assert result.fractions.shape == (0, 2)
 
+    def test_empty_flowset_with_base_loads(self, small_pair, caps):
+        """The zero-flow LP degenerates to the base state's max load ratio."""
+        caps_a, caps_b = caps
+        table = build_pair_cost_table(
+            small_pair, build_full_flowset(small_pair)
+        ).subset(np.array([], dtype=int))
+        base_a = caps_a * 0.5
+        base_b = caps_b * 2.0
+        result = solve_min_max_load_lp(
+            table, caps_a, caps_b, base_a=base_a, base_b=base_b
+        )
+        assert result.t == 2.0
+        # Restricted to the upstream side, only base_a matters.
+        one_side = solve_min_max_load_lp(
+            table, caps_a, caps_b, base_a=base_a, base_b=base_b, sides=("a",)
+        )
+        assert one_side.t == 0.5
+
 
 class TestLpValidation:
     def test_bad_caps_shape(self, table):

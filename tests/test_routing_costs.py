@@ -87,6 +87,39 @@ class TestSubset:
         sub = table.subset(np.array([0, 4, 8]))
         sub.validate()
 
+    def test_subset_flowset_is_view(self, table):
+        sub = table.subset(np.array([1, 3]))
+        assert np.array_equal(sub.flowset.sizes(), table.flowset.sizes()[[1, 3]])
+        assert np.array_equal(sub.flowset.srcs(), table.flowset.srcs()[[1, 3]])
+
+
+class TestSubsetValidation:
+    def test_out_of_range_rejected(self, table):
+        with pytest.raises(RoutingError, match="must be in 0"):
+            table.subset(np.array([table.n_flows]))
+
+    def test_negative_rejected(self, table):
+        """Regression: -1 used to silently alias to the last flow row."""
+        with pytest.raises(RoutingError, match="must be in 0"):
+            table.subset(np.array([-1]))
+
+    def test_duplicates_rejected(self, table):
+        with pytest.raises(RoutingError, match="duplicates"):
+            table.subset(np.array([2, 2]))
+
+    def test_non_1d_rejected(self, table):
+        with pytest.raises(RoutingError, match="1-D"):
+            table.subset(np.array([[0], [1]]))
+
+    def test_unknown_engine_rejected(self, table):
+        with pytest.raises(RoutingError, match="engine"):
+            table.subset(np.array([0]), engine="nope")
+
+    @pytest.mark.parametrize("engine", ["incidence", "legacy"])
+    def test_both_engines_validate(self, table, engine):
+        with pytest.raises(RoutingError):
+            table.subset(np.array([99]), engine=engine)
+
 
 class TestReversedDirection:
     def test_reverse_swaps_up_down(self, small_pair):

@@ -1,8 +1,9 @@
 """Tests for repro.routing.flows."""
 
+import numpy as np
 import pytest
 
-from repro.errors import TrafficError
+from repro.errors import ConfigurationError, TrafficError
 from repro.routing.flows import Flow, FlowSet, build_full_flowset
 
 
@@ -85,3 +86,64 @@ class TestSubset:
         sub = fs.subset([5, 2])
         assert sub[0].src == fs[5].src
         assert sub[1].src == fs[2].src
+
+
+class TestSubsetView:
+    """FlowSet.subset is an array-backed reindexing view."""
+
+    def test_arrays_derived_without_flow_rebuild(self, small_pair):
+        fs = build_full_flowset(small_pair, size_fn=lambda s, d: s + d + 1)
+        sub = fs.subset([2, 5, 7])
+        # The view is served from arrays; no Flow tuple exists until a
+        # legacy consumer iterates it.
+        assert sub._flows is None
+        assert np.array_equal(sub.srcs(), fs.srcs()[[2, 5, 7]])
+        assert np.array_equal(sub.dsts(), fs.dsts()[[2, 5, 7]])
+        assert np.array_equal(sub.sizes(), fs.sizes()[[2, 5, 7]])
+        assert len(sub) == 3
+        assert sub._flows is None  # len/array access did not materialize
+
+    def test_lazy_flows_materialize_dense(self, small_pair):
+        fs = build_full_flowset(small_pair, size_fn=lambda s, d: s + d + 1)
+        sub = fs.subset([7, 1])
+        assert [f.index for f in sub] == [0, 1]
+        assert (sub[0].src, sub[0].dst, sub[0].size) == (
+            fs[7].src, fs[7].dst, fs[7].size,
+        )
+        assert sub.flows is sub.flows  # materialized once, then cached
+
+    def test_view_buffers_read_only(self, small_pair):
+        sub = build_full_flowset(small_pair).subset([0, 3])
+        for arr in (sub.srcs(), sub.dsts(), sub.sizes()):
+            with pytest.raises(ValueError):
+                arr[0] = 1
+
+    def test_srcs_dsts_cached_on_eager_sets(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        assert fs.srcs() is fs.srcs()
+        assert fs.dsts() is fs.dsts()
+        assert np.array_equal(fs.srcs(), [f.src for f in fs])
+        assert np.array_equal(fs.dsts(), [f.dst for f in fs])
+
+
+class TestSubsetValidation:
+    def test_out_of_range_rejected(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        with pytest.raises(ConfigurationError, match="must be in 0"):
+            fs.subset([len(fs)])
+
+    def test_negative_rejected(self, small_pair):
+        """Regression: -1 used to silently alias to the last flow."""
+        fs = build_full_flowset(small_pair)
+        with pytest.raises(ConfigurationError, match="must be in 0"):
+            fs.subset([-1])
+
+    def test_duplicates_rejected(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            fs.subset([1, 1])
+
+    def test_non_1d_rejected(self, small_pair):
+        fs = build_full_flowset(small_pair)
+        with pytest.raises(ConfigurationError, match="1-D"):
+            fs.subset(np.array([[0, 1]]))
