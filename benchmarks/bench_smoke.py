@@ -122,6 +122,36 @@ def _scope_setup(table, engine: str):
     return setup
 
 
+def _warm_start_setup(config: ExperimentConfig, warm: bool):
+    """One sweep worker's dataset acquisition, with vs. without warm start.
+
+    The sweep runner primes the parent's dataset/pair caches before the
+    pool forks (``enumerate_units`` + ``warm_dataset``), so a fork worker's
+    ``pairs_for`` is a cache hit — the ``warm`` side times exactly that.
+    The cold side clears the per-process caches first, paying the full
+    dataset build + pair discovery every spawn worker used to pay.
+    """
+    from repro.experiments import parallel
+
+    min_ic, max_pairs = 3, config.max_pairs_bandwidth
+
+    if warm:
+        parallel.warm_dataset(config)
+        parallel.pairs_for(config, min_ic, max_pairs)
+
+        def setup():
+            parallel.pairs_for(config, min_ic, max_pairs)
+
+        return setup
+
+    def setup():
+        parallel._dataset_cache.clear()
+        parallel._pairs_cache.clear()
+        parallel.pairs_for(config, min_ic, max_pairs)
+
+    return setup
+
+
 def _lp_assembly(table, caps_a, caps_b, engine: str):
     """Assemble both sides' link-constraint triplets, as the LP does."""
     base_a = np.zeros(caps_a.shape[0])
@@ -230,6 +260,11 @@ def main(output: Path = DEFAULT_OUTPUT, check: bool = False) -> dict:
         "session_reassign_loadaware": (
             session_run("sparse", None),
             session_run("legacy", False),
+            3,
+        ),
+        "sweep_warm_start": (
+            _warm_start_setup(config, warm=True),
+            _warm_start_setup(config, warm=False),
             3,
         ),
     }

@@ -8,6 +8,14 @@ work per figure (one pair negotiation, one failure case, one LP solve).
 The preset scales with the ``REPRO_BENCH_PRESET`` environment variable:
 ``quick`` (CI smoke), ``bench`` (default: full 65-ISP dataset, capped pair
 counts) or ``paper`` (every qualifying pair and failure).
+
+Sweep results are shared *across* bench sessions through the unified
+runner's checkpoint store: set ``REPRO_BENCH_CHECKPOINT_DIR`` to a
+directory and every figure bench resumes the per-unit shards a previous
+run (of the same preset/seed — checkpoints are fingerprint-keyed) already
+computed, so iterating on one figure no longer re-runs the whole sweep. A
+directory holding a different sweep is silently recomputed from scratch
+rather than refused — benches want freshness over strictness.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments.bandwidth import run_bandwidth_experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.distance import run_distance_experiment
@@ -51,6 +60,28 @@ def _workers() -> int | None:
     """Sweep parallelism: REPRO_BENCH_WORKERS=N (-1 = one per CPU)."""
     raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
     return int(raw) if raw else None
+
+
+def _checkpoint_dir() -> str | None:
+    """Cross-session sweep cache: REPRO_BENCH_CHECKPOINT_DIR=DIR."""
+    raw = os.environ.get("REPRO_BENCH_CHECKPOINT_DIR", "").strip()
+    return raw or None
+
+
+def _cached_sweep(run, **kwargs):
+    """Run a sweep through the checkpoint store when one is configured.
+
+    First attempt resumes any shards a previous bench session left for the
+    same fingerprint; if the directory holds a *different* sweep (preset or
+    seed changed), fall back to a fresh overwrite instead of refusing.
+    """
+    checkpoint_dir = _checkpoint_dir()
+    if checkpoint_dir is None:
+        return run(**kwargs)
+    try:
+        return run(checkpoint_dir=checkpoint_dir, resume=True, **kwargs)
+    except ConfigurationError:
+        return run(checkpoint_dir=checkpoint_dir, resume=False, **kwargs)
 
 
 def emit(text: str) -> None:
@@ -95,16 +126,18 @@ def workload(dataset):
 @pytest.fixture(scope="session")
 def distance_results(config):
     """The full Section 5.1 sweep (Figures 4, 5, 6, 10)."""
-    return run_distance_experiment(
-        config, include_cheating=True, workers=_workers()
+    return _cached_sweep(
+        run_distance_experiment,
+        config=config, include_cheating=True, workers=_workers(),
     )
 
 
 @pytest.fixture(scope="session")
 def bandwidth_results(config):
     """The full Section 5.2/5.3/5.4 sweep (Figures 7, 8, 9, 11)."""
-    return run_bandwidth_experiment(
-        config,
+    return _cached_sweep(
+        run_bandwidth_experiment,
+        config=config,
         include_unilateral=True,
         include_cheating=True,
         include_diverse=True,

@@ -6,9 +6,22 @@
     python -m repro bandwidth --preset bench --unilateral --diverse
     python -m repro dataset --preset bench --out dataset.json
     python -m repro figure1
+    python -m repro sweep oscillation --preset quick
+    python -m repro sweep bandwidth --preset paper --workers -1 \\
+        --checkpoint-dir ckpt/ --resume
 
 The CLI prints the same CDF series the benchmark harness emits, so a user
 can reproduce any figure without pytest.
+
+Every experiment executes through the unified sweep runner
+(:mod:`repro.experiments.runner`): ``--workers N`` parallelizes at unit
+granularity with a shared-dataset warm start (``-1`` = one worker per
+CPU), and ``--checkpoint-dir DIR`` persists per-unit result shards keyed
+by a (scenario, config) fingerprint so an interrupted sweep rerun with
+``--resume`` recomputes only the missing units (a checkpoint written under
+a different fingerprint refuses to resume). The ``sweep`` subcommand runs
+any registered scenario — ``distance``, ``bandwidth``, ``oscillation``,
+``destination`` — and prints its summary claims.
 """
 
 from __future__ import annotations
@@ -31,6 +44,10 @@ _PRESETS = {
     "paper": ExperimentConfig.paper,
 }
 
+#: Scenarios the ``sweep`` subcommand exposes (dataset-driven sweeps only;
+#: "grouped" needs a caller-supplied pair, so it stays API-only).
+_SWEEP_SCENARIOS = ("distance", "bandwidth", "oscillation", "destination")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -45,15 +62,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=None,
                        help="override the workload seed")
 
+    def add_runner(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=None,
+                       help="parallel worker processes (default: serial; "
+                            "-1 = one per CPU)")
+        p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="persist per-unit result shards under DIR "
+                            "(keyed by the sweep's config fingerprint)")
+        p.add_argument("--resume", action="store_true",
+                       help="with --checkpoint-dir: skip units whose "
+                            "shards are already complete (refuses if the "
+                            "directory holds a different sweep)")
+
     p_dist = sub.add_parser("distance",
                             help="Section 5.1: the distance experiment")
     add_preset(p_dist)
+    add_runner(p_dist)
     p_dist.add_argument("--cheating", action="store_true",
                         help="include the Figure 10 cheating variant")
 
     p_bw = sub.add_parser("bandwidth",
                           help="Section 5.2: the bandwidth experiment")
     add_preset(p_bw)
+    add_runner(p_bw)
     p_bw.add_argument("--unilateral", action="store_true",
                       help="include the Figure 8 unilateral comparison")
     p_bw.add_argument("--diverse", action="store_true",
@@ -68,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figure1", help="run the Figure 1 walkthrough")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run any registered sweep scenario through the unified runner",
+    )
+    p_sweep.add_argument("scenario", choices=_SWEEP_SCENARIOS,
+                         help="which sweep to run")
+    add_preset(p_sweep)
+    add_runner(p_sweep)
+
     return parser
 
 
@@ -78,9 +118,19 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+
+
 def _run_distance(args: argparse.Namespace, out) -> int:
     config = _config(args)
-    result = run_distance_experiment(config, include_cheating=args.cheating)
+    result = run_distance_experiment(
+        config, include_cheating=args.cheating, **_runner_kwargs(args)
+    )
     print(format_series_table(
         "Figure 4a: total % distance gain (CDF over pairs)",
         [result.cdf_total_gain("optimal"), result.cdf_total_gain("negotiated")],
@@ -119,6 +169,7 @@ def _run_bandwidth(args: argparse.Namespace, out) -> int:
         include_unilateral=args.unilateral,
         include_cheating=args.cheating,
         include_diverse=args.diverse,
+        **_runner_kwargs(args),
     )
     print(format_series_table(
         "Figure 7 (left): upstream MEL ratio to optimal (CDF)",
@@ -178,6 +229,20 @@ def _run_figure1(out) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace, out) -> int:
+    from repro.experiments.runner import SweepRunner, get_scenario
+
+    config = _config(args)
+    spec = get_scenario(args.scenario)
+    runner = SweepRunner(**_runner_kwargs(args))
+    aggregate = runner.run(spec, config)
+    claims = spec.summarize(aggregate) if spec.summarize else [
+        ("result", repr(aggregate))
+    ]
+    print(format_claims(f"sweep: {spec.name}", claims), file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -190,4 +255,6 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _run_dataset(args, out)
     if args.command == "figure1":
         return _run_figure1(out)
+    if args.command == "sweep":
+        return _run_sweep(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

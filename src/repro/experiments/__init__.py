@@ -12,17 +12,31 @@ from repro.experiments.distance import (
     DistancePairResult,
     run_distance_experiment,
     run_distance_pair,
+    run_grouped_ablation,
 )
 from repro.experiments.extensions import (
+    DestinationExperimentResult,
     DestinationPairResult,
     build_destination_problem,
     run_destination_based_pair,
+    run_destination_experiment,
 )
 from repro.experiments.oscillation import (
+    OscillationExperimentResult,
+    OscillationPairResult,
     OscillationResult,
+    run_oscillation_experiment,
+    run_oscillation_pair,
     simulate_best_response,
 )
 from repro.experiments.report import format_cdf_block, format_claims
+from repro.experiments.runner import (
+    CheckpointStore,
+    ScenarioSpec,
+    SweepRunner,
+    run_scenario,
+    scenario_names,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -36,9 +50,21 @@ __all__ = [
     "run_bandwidth_experiment",
     "format_cdf_block",
     "format_claims",
+    "run_grouped_ablation",
     "DestinationPairResult",
+    "DestinationExperimentResult",
     "build_destination_problem",
     "run_destination_based_pair",
+    "run_destination_experiment",
     "OscillationResult",
+    "OscillationPairResult",
+    "OscillationExperimentResult",
+    "run_oscillation_pair",
+    "run_oscillation_experiment",
     "simulate_best_response",
+    "ScenarioSpec",
+    "SweepRunner",
+    "CheckpointStore",
+    "run_scenario",
+    "scenario_names",
 ]

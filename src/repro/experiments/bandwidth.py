@@ -56,8 +56,14 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     _bandwidth_pair_worker,
+    pairs_for,
     parallel_map,
     resolve_workers,
+)
+from repro.experiments.runner import (
+    ScenarioSpec,
+    SweepRunner,
+    register_scenario,
 )
 from repro.geo.cities import default_city_database
 from repro.geo.population import PopulationModel
@@ -534,6 +540,65 @@ class BandwidthExperimentResult:
         )
 
 
+# ---------------------------------------------------------------------------
+# Sweep scenario: "bandwidth" (one unit per pair; all its failure cases)
+# ---------------------------------------------------------------------------
+
+_FLAG_KEYS = (
+    "include_unilateral", "include_cheating", "include_diverse",
+    "derived_tables",
+)
+
+
+def _bandwidth_units(config, params):
+    _, pairs = pairs_for(config, 3, config.max_pairs_bandwidth)
+    return list(range(len(pairs)))
+
+
+def _bandwidth_unit(config, params, pair_index):
+    dataset, pairs = pairs_for(config, 3, config.max_pairs_bandwidth)
+    pair = pairs[pair_index]
+    workload = params["workload"] or GravityWorkload(
+        PopulationModel(dataset.city_db)
+    )
+    flags = {key: params[key] for key in _FLAG_KEYS}
+    return run_pair_cases(pair, config, flags, workload, params["provisioner"])
+
+
+def _bandwidth_reduce(config, params, results):
+    result = BandwidthExperimentResult()
+    for cases in results:
+        result.cases.extend(cases)
+    return result
+
+
+def _bandwidth_summary(result: BandwidthExperimentResult) -> list:
+    return [
+        ("failure cases", str(len(result.cases))),
+        ("median upstream MEL ratio (default)",
+         f"{result.cdf_ratio('default', 'a').median():.3f}"),
+        ("median upstream MEL ratio (negotiated)",
+         f"{result.cdf_ratio('negotiated', 'a').median():.3f}"),
+    ]
+
+
+BANDWIDTH_SCENARIO = register_scenario(ScenarioSpec(
+    name="bandwidth",
+    enumerate_units=_bandwidth_units,
+    run_unit=_bandwidth_unit,
+    reduce=_bandwidth_reduce,
+    default_params={
+        "include_unilateral": False,
+        "include_cheating": False,
+        "include_diverse": False,
+        "derived_tables": True,
+        "workload": None,
+        "provisioner": None,
+    },
+    summarize=_bandwidth_summary,
+))
+
+
 def run_bandwidth_experiment(
     config: ExperimentConfig | None = None,
     include_unilateral: bool = False,
@@ -543,6 +608,9 @@ def run_bandwidth_experiment(
     provisioner: ProportionalCapacity | None = None,
     workers: int | None = None,
     derived_tables: bool = True,
+    runner: str = "sweep",
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> BandwidthExperimentResult:
     """Run the Section 5.2 experiment over the configured dataset.
 
@@ -550,28 +618,53 @@ def run_bandwidth_experiment(
     (gravity traffic, capacity proportional to pre-failure load with
     median fill-in); pass alternates for the robustness sweeps.
 
-    ``workers`` parallelizes across processes at pair granularity (each
-    worker handles all failure cases of its pair, sharing the pair's
-    precomputed context). Results are collected in (pair, failure) order,
-    so any worker count produces identical results; custom ``workload`` /
+    Executes through the unified :class:`~repro.experiments.runner.SweepRunner`
+    (``runner="sweep"``, the default): ``workers`` parallelizes at pair
+    granularity (each worker handles all failure cases of its pair,
+    sharing the pair's precomputed context) with a shared-dataset warm
+    start, and ``checkpoint_dir`` / ``resume`` persist per-pair shards for
+    restartable sweeps. Results are collected in (pair, failure) order, so
+    any worker count produces identical results; custom ``workload`` /
     ``provisioner`` objects must be picklable when ``workers > 1``.
+    ``runner="legacy"`` keeps the pre-runner driver loop for the
+    equivalence tests.
 
     ``derived_tables`` selects the per-case table strategy (see
     :func:`run_bandwidth_case`); the default fast path derives each
     failure's table from the pair's pre-failure table.
     """
     config = config or ExperimentConfig()
+    params = dict(
+        include_unilateral=include_unilateral,
+        include_cheating=include_cheating,
+        include_diverse=include_diverse,
+        derived_tables=derived_tables,
+        workload=workload,
+        provisioner=provisioner,
+    )
+    if runner == "legacy":
+        return _run_bandwidth_experiment_legacy(config, params, workers)
+    if runner != "sweep":
+        raise ConfigurationError(f"unknown runner {runner!r}")
+    return SweepRunner(
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+    ).run(BANDWIDTH_SCENARIO, config, params)
+
+
+def _run_bandwidth_experiment_legacy(
+    config: ExperimentConfig,
+    params: dict,
+    workers: int | None,
+) -> BandwidthExperimentResult:
+    """The pre-runner driver loop, pinned by the equivalence tests."""
+    workload = params["workload"]
+    provisioner = params["provisioner"]
     dataset = build_default_dataset(config.dataset)
     pairs = dataset.pairs(
         min_interconnections=3, max_pairs=config.max_pairs_bandwidth
     )
     result = BandwidthExperimentResult()
-    flags = dict(
-        include_unilateral=include_unilateral,
-        include_cheating=include_cheating,
-        include_diverse=include_diverse,
-        derived_tables=derived_tables,
-    )
+    flags = {key: params[key] for key in _FLAG_KEYS}
     if resolve_workers(workers) > 1:
         payloads = [
             (config, i, flags, workload, provisioner)

@@ -16,6 +16,7 @@ ablation, and (for Figure 10) a variant where one ISP cheats.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -30,11 +31,18 @@ from repro.core.evaluators import StaticCostEvaluator
 from repro.core.mapping import AutoScaleDeltaMapper
 from repro.core.preferences import PreferenceRange
 from repro.core.session import NegotiationSession, SessionConfig
+from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     _distance_pair_worker,
+    pairs_for,
     parallel_map,
     resolve_workers,
+)
+from repro.experiments.runner import (
+    ScenarioSpec,
+    SweepRunner,
+    register_scenario,
 )
 from repro.metrics.distance import percent_gain
 from repro.routing.costs import PairCostTable, build_pair_cost_table
@@ -53,6 +61,7 @@ __all__ = [
     "build_distance_problem",
     "run_distance_pair",
     "run_distance_experiment",
+    "run_grouped_ablation",
 ]
 
 
@@ -340,19 +349,85 @@ class DistanceExperimentResult:
         return self.cdf_flow_gain(method).fraction_at_least(threshold)
 
 
+# ---------------------------------------------------------------------------
+# Sweep scenario: "distance" (one unit per qualifying ISP pair)
+# ---------------------------------------------------------------------------
+
+
+def _distance_units(config, params):
+    _, pairs = pairs_for(config, 2, config.max_pairs_distance)
+    return list(range(len(pairs)))
+
+
+def _distance_unit(config, params, pair_index):
+    _, pairs = pairs_for(config, 2, config.max_pairs_distance)
+    return run_distance_pair(
+        pairs[pair_index], config,
+        include_cheating=params["include_cheating"],
+    )
+
+
+def _distance_reduce(config, params, results):
+    return DistanceExperimentResult(pairs=list(results))
+
+
+def _distance_summary(result: DistanceExperimentResult) -> list:
+    return [
+        ("pairs", str(len(result.pairs))),
+        ("median total gain (optimal)",
+         f"{result.median_total_gain('optimal'):.2f}%"),
+        ("median total gain (negotiated)",
+         f"{result.median_total_gain('negotiated'):.2f}%"),
+    ]
+
+
+DISTANCE_SCENARIO = register_scenario(ScenarioSpec(
+    name="distance",
+    enumerate_units=_distance_units,
+    run_unit=_distance_unit,
+    reduce=_distance_reduce,
+    default_params={"include_cheating": False},
+    summarize=_distance_summary,
+))
+
+
 def run_distance_experiment(
     config: ExperimentConfig | None = None,
     include_cheating: bool = False,
     workers: int | None = None,
+    runner: str = "sweep",
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> DistanceExperimentResult:
     """Run the Section 5.1 experiment over the configured dataset.
 
-    ``workers`` parallelizes the sweep across processes at pair
-    granularity (``None``/0/1 = serial, negative = one per CPU). Each pair
+    Executes through the unified :class:`~repro.experiments.runner.SweepRunner`
+    (``runner="sweep"``, the default): ``workers`` parallelizes at pair
+    granularity with a shared-dataset warm start, and ``checkpoint_dir`` /
+    ``resume`` persist per-pair results for restartable sweeps. Each pair
     is an independent, config-seeded computation and results are collected
     in pair order, so any worker count produces identical results.
+    ``runner="legacy"`` keeps the pre-runner driver loop for the
+    equivalence tests.
     """
     config = config or ExperimentConfig()
+    if runner == "legacy":
+        return _run_distance_experiment_legacy(config, include_cheating, workers)
+    if runner != "sweep":
+        raise ConfigurationError(f"unknown runner {runner!r}")
+    return SweepRunner(
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+    ).run(
+        DISTANCE_SCENARIO, config, {"include_cheating": include_cheating}
+    )
+
+
+def _run_distance_experiment_legacy(
+    config: ExperimentConfig,
+    include_cheating: bool,
+    workers: int | None,
+) -> DistanceExperimentResult:
+    """The pre-runner driver loop, pinned by the equivalence tests."""
     dataset = build_default_dataset(config.dataset)
     pairs = dataset.pairs(
         min_interconnections=2, max_pairs=config.max_pairs_distance
@@ -371,13 +446,97 @@ def run_distance_experiment(
     return result
 
 
+# ---------------------------------------------------------------------------
+# Sweep scenario: "grouped" (one unit per group count, shared problem)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=2)
+def _memo_distance_problem(pair: IspPair) -> DistanceProblem:
+    """Per-process problem memo (identity-keyed; pairs hash by identity).
+
+    The serial grouped sweep passes the same pair object for every group
+    count, so the problem is built once — matching the legacy driver. A
+    parallel worker unpickles its own pair copy per payload and rebuilds,
+    which is the same determinism story as the dataset sweeps.
+    """
+    return build_distance_problem(pair)
+
+
+def _grouped_units(config, params):
+    return [int(n) for n in params["group_counts"]]
+
+
+def _grouped_unit(config, params, n_groups):
+    pair = params["pair"]
+    p_range = PreferenceRange(config.preference_p)
+    problem = _memo_distance_problem(pair)
+    tot_def, _, _ = problem.totals(problem.defaults)
+    choices = grouped_negotiation_choices(
+        problem.cost_a,
+        problem.cost_b,
+        problem.defaults,
+        AutoScaleDeltaMapper(p_range),
+        AutoScaleDeltaMapper(p_range),
+        n_groups=n_groups,
+        seed=derive_rng(config.seed, "grouped", pair.name, n_groups),
+    )
+    tot, _, _ = problem.totals(choices)
+    return n_groups, percent_gain(tot_def, tot)
+
+
+def _grouped_reduce(config, params, results):
+    return dict(results)
+
+
+def _grouped_summary(gains: dict) -> list:
+    return [
+        (f"total gain with {n} groups", f"{gain:.2f}%")
+        for n, gain in sorted(gains.items())
+    ]
+
+
+GROUPED_SCENARIO = register_scenario(ScenarioSpec(
+    name="grouped",
+    enumerate_units=_grouped_units,
+    run_unit=_grouped_unit,
+    reduce=_grouped_reduce,
+    summarize=_grouped_summary,
+    uses_dataset=False,  # the pair travels in params; no dataset reads
+))
+
+
 def run_grouped_ablation(
     pair: IspPair,
     group_counts: list[int],
     config: ExperimentConfig | None = None,
+    workers: int | None = None,
+    runner: str = "sweep",
 ) -> dict[int, float]:
-    """Total % gain when negotiating in separate groups (in-text ablation)."""
+    """Total % gain when negotiating in separate groups (in-text ablation).
+
+    Executes through the sweep runner (one unit per group count; the
+    distance problem is built once per process and shared across units).
+    ``runner="legacy"`` keeps the pre-runner loop for the equivalence
+    tests.
+    """
     config = config or ExperimentConfig()
+    if runner == "legacy":
+        return _run_grouped_ablation_legacy(pair, group_counts, config)
+    if runner != "sweep":
+        raise ConfigurationError(f"unknown runner {runner!r}")
+    return SweepRunner(workers=workers).run(
+        GROUPED_SCENARIO, config,
+        {"pair": pair, "group_counts": list(group_counts)},
+    )
+
+
+def _run_grouped_ablation_legacy(
+    pair: IspPair,
+    group_counts: list[int],
+    config: ExperimentConfig,
+) -> dict[int, float]:
+    """The pre-runner ablation loop, pinned by the equivalence tests."""
     p_range = PreferenceRange(config.preference_p)
     problem = build_distance_problem(pair)
     tot_def, _, _ = problem.totals(problem.defaults)

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,15 +22,24 @@ from repro.core.preferences import PreferenceRange
 from repro.core.session import NegotiationSession
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.distance import DistanceProblem, build_distance_problem
+from repro.experiments.parallel import pairs_for
+from repro.experiments.runner import (
+    ScenarioSpec,
+    SweepRunner,
+    register_scenario,
+)
 from repro.metrics.distance import percent_gain
 from repro.routing.costs import PairCostTable
 from repro.topology.interconnect import IspPair
+from repro.util.cdf import Cdf
 
 __all__ = [
     "DestinationProblem",
     "build_destination_problem",
     "run_destination_based_pair",
     "DestinationPairResult",
+    "DestinationExperimentResult",
+    "run_destination_experiment",
 ]
 
 
@@ -179,3 +188,77 @@ def run_destination_based_pair(
         gain_b_negotiated=percent_gain(b_def, b_neg),
         source_dest_gain=percent_gain(sd_def, sd_neg),
     )
+
+
+# ---------------------------------------------------------------------------
+# Sweep scenario: "destination" (one unit per qualifying ISP pair)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DestinationExperimentResult:
+    """Aggregated destination-based results (endnote-2 comparison)."""
+
+    pairs: list[DestinationPairResult] = field(default_factory=list)
+
+    def cdf_total_gain(self, method: str) -> Cdf:
+        attr = {
+            "optimal": "total_gain_optimal",
+            "negotiated": "total_gain_negotiated",
+            "source_dest": "source_dest_gain",
+        }[method]
+        values = tuple(getattr(p, attr) for p in self.pairs)
+        return Cdf(values=values, label=f"destination total gain ({method})")
+
+    def median_total_gain(self, method: str) -> float:
+        return self.cdf_total_gain(method).median()
+
+
+def _destination_units(config, params):
+    _, pairs = pairs_for(config, 2, config.max_pairs_distance)
+    return list(range(len(pairs)))
+
+
+def _destination_unit(config, params, pair_index):
+    _, pairs = pairs_for(config, 2, config.max_pairs_distance)
+    return run_destination_based_pair(pairs[pair_index], config)
+
+
+def _destination_reduce(config, params, results):
+    return DestinationExperimentResult(pairs=list(results))
+
+
+def _destination_summary(result: DestinationExperimentResult) -> list:
+    return [
+        ("pairs", str(len(result.pairs))),
+        ("median total gain (destination-negotiated)",
+         f"{result.median_total_gain('negotiated'):.2f}%"),
+        ("median total gain (source-destination)",
+         f"{result.median_total_gain('source_dest'):.2f}%"),
+    ]
+
+
+DESTINATION_SCENARIO = register_scenario(ScenarioSpec(
+    name="destination",
+    enumerate_units=_destination_units,
+    run_unit=_destination_unit,
+    reduce=_destination_reduce,
+    summarize=_destination_summary,
+))
+
+
+def run_destination_experiment(
+    config: ExperimentConfig | None = None,
+    workers: int | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+) -> DestinationExperimentResult:
+    """Sweep the destination-based extension over the dataset's pairs.
+
+    Runs through the unified sweep runner (pair-granular parallelism with
+    a shared-dataset warm start, optional checkpoint/resume) over the same
+    pair population as the distance experiment.
+    """
+    return SweepRunner(
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+    ).run(DESTINATION_SCENARIO, config)

@@ -12,6 +12,12 @@ its own MEL, using the control BGP gives it), and the simulator reports
 whether the system reaches a fixed point or revisits a state — an
 oscillation. On the Figure 2 scenario it oscillates exactly as the paper
 describes; a Nexit agreement is a fixed point by construction.
+
+:func:`run_oscillation_experiment` sweeps the simulator over the dataset
+(one best-response trajectory per qualifying pair's first-interconnection
+failure, on the affected flows with everything else as background
+traffic) through the unified sweep runner, quantifying how often
+uncoordinated reactions cycle versus stabilize.
 """
 
 from __future__ import annotations
@@ -22,10 +28,26 @@ import numpy as np
 
 from repro.capacity.loads import link_loads
 from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import pairs_for
+from repro.experiments.runner import (
+    ScenarioSpec,
+    SweepRunner,
+    register_scenario,
+)
 from repro.metrics.mel import max_excess_load
 from repro.routing.costs import PairCostTable
+from repro.routing.exits import early_exit_choices
 
-__all__ = ["BestResponseStep", "OscillationResult", "simulate_best_response"]
+__all__ = [
+    "BestResponseStep",
+    "OscillationResult",
+    "simulate_best_response",
+    "OscillationPairResult",
+    "OscillationExperimentResult",
+    "run_oscillation_pair",
+    "run_oscillation_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -151,3 +173,160 @@ def simulate_best_response(
 
     result.final_choices = choices
     return result
+
+
+# ---------------------------------------------------------------------------
+# Sweep scenario: "oscillation" (one trajectory per qualifying pair)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OscillationPairResult:
+    """One pair's post-failure best-response trajectory, summarized."""
+
+    pair_name: str
+    failed_city: str
+    n_affected: int
+    n_steps: int
+    cycled: bool
+    stable: bool
+
+
+@dataclass
+class OscillationExperimentResult:
+    """Aggregated best-response trajectories across the dataset."""
+
+    pairs: list[OscillationPairResult] = field(default_factory=list)
+
+    def fraction_cycled(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return sum(p.cycled for p in self.pairs) / len(self.pairs)
+
+    def fraction_stable(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return sum(p.stable for p in self.pairs) / len(self.pairs)
+
+    def median_steps(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return float(np.median([p.n_steps for p in self.pairs]))
+
+
+def run_oscillation_pair(
+    pair,
+    config: ExperimentConfig | None = None,
+    workload=None,
+    failed_ic_index: int = 0,
+    max_steps: int = 12,
+) -> OscillationPairResult:
+    """Simulate uncoordinated reactions to one pair's failure.
+
+    Reuses the bandwidth experiment's per-pair setup (gravity workload,
+    proportional capacities, derived post-failure table): the flows whose
+    pre-failure exit was the failed interconnection re-route by
+    best-response moves while everything else stays put as background
+    load. A failure that affects no flow is trivially stable in 0 steps.
+    """
+    from repro.experiments.bandwidth import _build_context
+    from repro.geo.population import PopulationModel
+    from repro.traffic.gravity import GravityWorkload
+
+    config = config or ExperimentConfig()
+    if workload is None:
+        from repro.geo.cities import default_city_database
+
+        workload = GravityWorkload(PopulationModel(default_city_database()))
+    context = _build_context(pair, workload)
+    table_post = context.table_pre.without_alternative(failed_ic_index)
+    default_post = early_exit_choices(table_post)
+    failed_city = pair.interconnections[failed_ic_index].city
+
+    affected = np.asarray(context.default_pre) == failed_ic_index
+    affected_idx = np.flatnonzero(affected)
+    if affected_idx.size == 0:
+        return OscillationPairResult(
+            pair_name=pair.name, failed_city=failed_city, n_affected=0,
+            n_steps=0, cycled=False, stable=True,
+        )
+    base_a = link_loads(table_post, default_post, "a", active=~affected)
+    base_b = link_loads(table_post, default_post, "b", active=~affected)
+    sub_table = table_post.subset(affected_idx)
+    sim = simulate_best_response(
+        sub_table,
+        default_post[affected_idx],
+        context.caps_a,
+        context.caps_b,
+        base_a,
+        base_b,
+        max_steps=max_steps,
+    )
+    return OscillationPairResult(
+        pair_name=pair.name,
+        failed_city=failed_city,
+        n_affected=int(affected_idx.size),
+        n_steps=sim.n_steps,
+        cycled=sim.cycled,
+        stable=sim.stable,
+    )
+
+
+def _oscillation_units(config, params):
+    _, pairs = pairs_for(config, 3, config.max_pairs_bandwidth)
+    return list(range(len(pairs)))
+
+
+def _oscillation_unit(config, params, pair_index):
+    from repro.geo.population import PopulationModel
+    from repro.traffic.gravity import GravityWorkload
+
+    dataset, pairs = pairs_for(config, 3, config.max_pairs_bandwidth)
+    workload = params["workload"] or GravityWorkload(
+        PopulationModel(dataset.city_db)
+    )
+    return run_oscillation_pair(
+        pairs[pair_index], config, workload, max_steps=params["max_steps"]
+    )
+
+
+def _oscillation_reduce(config, params, results):
+    return OscillationExperimentResult(pairs=list(results))
+
+
+def _oscillation_summary(result: OscillationExperimentResult) -> list:
+    return [
+        ("pairs", str(len(result.pairs))),
+        ("fraction cycled", f"{result.fraction_cycled():.2f}"),
+        ("fraction stable", f"{result.fraction_stable():.2f}"),
+        ("median best-response steps", f"{result.median_steps():.1f}"),
+    ]
+
+
+OSCILLATION_SCENARIO = register_scenario(ScenarioSpec(
+    name="oscillation",
+    enumerate_units=_oscillation_units,
+    run_unit=_oscillation_unit,
+    reduce=_oscillation_reduce,
+    default_params={"workload": None, "max_steps": 12},
+    summarize=_oscillation_summary,
+))
+
+
+def run_oscillation_experiment(
+    config: ExperimentConfig | None = None,
+    workers: int | None = None,
+    max_steps: int = 12,
+    checkpoint_dir=None,
+    resume: bool = False,
+) -> OscillationExperimentResult:
+    """Sweep :func:`run_oscillation_pair` over the dataset's pairs.
+
+    Runs through the unified sweep runner: pair-granular parallelism with
+    a shared-dataset warm start, optional checkpoint/resume, and
+    worker-count invariance (each trajectory is a pure function of the
+    config).
+    """
+    return SweepRunner(
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+    ).run(OSCILLATION_SCENARIO, config, {"max_steps": max_steps})

@@ -5,14 +5,19 @@ The figure experiments iterate independent units of work — one ISP pair
 function of the experiment config, so the sweeps parallelize trivially.
 This module provides the shared machinery:
 
-* :func:`resolve_workers` — normalize a ``workers`` argument (``None``/0/1
-  = serial, negative = one per CPU);
+* :func:`resolve_workers` — normalize a ``workers`` argument (see its
+  contract table);
 * :func:`parallel_map` — ordered :class:`~concurrent.futures.ProcessPoolExecutor`
   map with a serial fast path;
-* picklable worker functions for the distance and bandwidth sweeps that
-  rebuild the dataset *inside* the worker process (cached per process), so
-  payloads are tiny (config + indices) and nothing unpicklable — routing
-  caches, size-function closures — ever crosses the process boundary.
+* :func:`dataset_for` / :func:`pairs_for` — the bounded, fingerprint-keyed
+  per-process dataset cache, plus :func:`warm_dataset` to prime it in the
+  parent *before* forking so workers inherit the built dataset instead of
+  each rebuilding it (the shared-dataset warm start; see
+  :class:`repro.experiments.runner.SweepRunner`);
+* picklable worker functions for the legacy distance and bandwidth sweep
+  paths, so payloads are tiny (config + indices) and nothing unpicklable —
+  routing caches, size-function closures — ever crosses the process
+  boundary.
 
 **Determinism contract:** results are returned in submission order and
 each unit's computation is independent and seeded by the config, so
@@ -22,15 +27,26 @@ The equivalence tests assert this.
 
 from __future__ import annotations
 
+import multiprocessing
+import operator
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from functools import lru_cache
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.topology.dataset import build_default_dataset
+from repro.topology.serialization import config_fingerprint
 
-__all__ = ["resolve_workers", "parallel_map"]
+__all__ = [
+    "resolve_workers",
+    "parallel_map",
+    "fork_context",
+    "dataset_for",
+    "pairs_for",
+    "warm_dataset",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,14 +55,56 @@ R = TypeVar("R")
 def resolve_workers(workers: int | None) -> int:
     """Normalize a ``workers`` argument to an explicit process count.
 
-    ``None``, 0 and 1 mean serial; a negative value means one worker per
-    available CPU; anything else is taken literally.
+    ==========  ====================================================
+    ``workers``  resolves to
+    ==========  ====================================================
+    ``None``     1 (serial — no executor, no pickling)
+    ``0``        1 (serial)
+    ``1``        1 (serial)
+    ``-N``       ``os.cpu_count()`` (any negative: one per CPU)
+    ``N >= 2``   exactly ``N`` worker processes
+    ==========  ====================================================
+
+    Anything else — ``True``/``False``, floats, strings — raises
+    :class:`~repro.errors.ConfigurationError` instead of leaking into
+    :class:`~concurrent.futures.ProcessPoolExecutor` (where ``True`` would
+    silently mean one worker and a float would raise a confusing
+    ``TypeError`` deep in the pool). Integer-like objects that implement
+    ``__index__`` (e.g. ``numpy.int64``) are accepted.
     """
-    if workers is None or workers == 0:
+    if workers is None:
         return 1
-    if workers < 0:
+    if isinstance(workers, bool):
+        raise ConfigurationError(
+            f"workers must be an int or None, got {workers!r} (bool)"
+        )
+    try:
+        count = operator.index(workers)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"workers must be an int or None, got {workers!r}"
+        ) from exc
+    if count < 0:
         return os.cpu_count() or 1
-    return int(workers)
+    return max(count, 1)
+
+
+def fork_context() -> multiprocessing.context.BaseContext | None:
+    """The ``fork`` multiprocessing context, or None where it's not safe.
+
+    Fork is what makes the shared-dataset warm start free: the parent
+    primes the module-level dataset cache (:func:`warm_dataset`) and every
+    forked worker inherits the built dataset through copy-on-write memory.
+    Fork is used only where it is already the platform's *default* start
+    method (Linux) — on macOS fork is available but CPython defaults to
+    spawn because forking after system frameworks initialize is
+    crash-prone, and we respect that (and any user-set start method).
+    Where this returns None, workers fall back to the per-process cache
+    (each rebuilds once, as before).
+    """
+    if multiprocessing.get_start_method() == "fork":
+        return multiprocessing.get_context("fork")
+    return None
 
 
 def parallel_map(
@@ -54,6 +112,7 @@ def parallel_map(
     payloads: Sequence[T] | Iterable[T],
     workers: int | None = None,
     chunksize: int = 1,
+    mp_context: multiprocessing.context.BaseContext | None = None,
 ) -> list[R]:
     """Ordered map over ``payloads``, optionally across processes.
 
@@ -61,37 +120,109 @@ def parallel_map(
     comprehension (no executor, no pickling). Otherwise ``fn`` must be a
     module-level function and each payload picklable; results come back in
     submission order regardless of which worker finished first.
+    ``mp_context`` selects the process start method (the sweep runner
+    passes :func:`fork_context` so workers inherit the warm dataset).
     """
     n_workers = resolve_workers(workers)
     payloads = list(payloads)
     if n_workers <= 1 or len(payloads) <= 1:
         return [fn(p) for p in payloads]
-    with ProcessPoolExecutor(max_workers=min(n_workers, len(payloads))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(payloads)), mp_context=mp_context
+    ) as pool:
         return list(pool.map(fn, payloads, chunksize=chunksize))
 
 
 # ---------------------------------------------------------------------------
-# Per-process dataset cache
+# Bounded per-process dataset cache (+ warm start priming)
 # ---------------------------------------------------------------------------
 
+#: How many distinct dataset configs each process keeps built at once.
+#: Multi-config sweeps in one process (robustness grids, ablations over
+#: dataset seeds) evict least-recently-used entries instead of growing
+#: without bound.
+DATASET_CACHE_SIZE = 4
 
-@lru_cache(maxsize=4)
-def _cached_pairs(config: ExperimentConfig, min_interconnections: int,
-                  max_pairs: int | None):
-    """The experiment's qualifying pair list, built once per process.
+#: Qualifying-pair lists are cheap relative to a dataset build but not
+#: free; keep a few per process, keyed alongside the dataset entries.
+PAIRS_CACHE_SIZE = 8
 
-    ``ExperimentConfig`` is frozen/hashable, and dataset generation is
-    deterministic in its seeds, so every process derives the identical
-    pair list from the same config.
+_dataset_cache: "OrderedDict[str, object]" = OrderedDict()
+_pairs_cache: "OrderedDict[tuple, list]" = OrderedDict()
+
+
+def _cache_put(cache: OrderedDict, key, value, maxsize: int) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > maxsize:
+        cache.popitem(last=False)
+
+
+def dataset_for(config: ExperimentConfig):
+    """The experiment's dataset, built at most once per process per config.
+
+    Keyed on the dataset config's fingerprint — the same identity the
+    checkpoint store uses (:func:`repro.topology.serialization.config_fingerprint`)
+    — so configs that differ only in sweep caps share one built dataset.
+    The cache is bounded (:data:`DATASET_CACHE_SIZE`, LRU eviction).
     """
-    dataset = build_default_dataset(config.dataset)
-    return dataset, dataset.pairs(
-        min_interconnections=min_interconnections, max_pairs=max_pairs
+    key = config_fingerprint(config.dataset)
+    dataset = _dataset_cache.get(key)
+    if dataset is None:
+        dataset = build_default_dataset(config.dataset)
+        _cache_put(_dataset_cache, key, dataset, DATASET_CACHE_SIZE)
+    else:
+        _dataset_cache.move_to_end(key)
+    return dataset
+
+
+def pairs_for(
+    config: ExperimentConfig,
+    min_interconnections: int,
+    max_pairs: int | None,
+):
+    """The experiment's qualifying pair list, cached per process.
+
+    ``ExperimentConfig`` is frozen and dataset generation is deterministic
+    in its seeds, so every process derives the identical pair list from
+    the same config.
+    """
+    dataset = dataset_for(config)
+    key = (
+        config_fingerprint(config.dataset),
+        int(min_interconnections),
+        None if max_pairs is None else int(max_pairs),
     )
+    pairs = _pairs_cache.get(key)
+    if pairs is None:
+        pairs = dataset.pairs(
+            min_interconnections=min_interconnections, max_pairs=max_pairs
+        )
+        _cache_put(_pairs_cache, key, pairs, PAIRS_CACHE_SIZE)
+    else:
+        _pairs_cache.move_to_end(key)
+    return dataset, pairs
+
+
+def warm_dataset(config: ExperimentConfig, dataset=None):
+    """Prime the per-process dataset cache (the shared-dataset warm start).
+
+    Called in the *parent* before a fork-context pool spins up: the built
+    dataset lands in the module-level cache, forked workers inherit it via
+    copy-on-write, and :func:`dataset_for` hits the cache instead of
+    rebuilding — closing the "rebuild once per worker" startup cost for
+    ``paper``-preset sweeps. Passing a prebuilt ``dataset`` skips the
+    build (it must match the config). Returns the cached dataset.
+    """
+    key = config_fingerprint(config.dataset)
+    if dataset is not None:
+        _cache_put(_dataset_cache, key, dataset, DATASET_CACHE_SIZE)
+        return dataset
+    return dataset_for(config)
 
 
 # ---------------------------------------------------------------------------
-# Sweep workers (top-level, hence picklable)
+# Legacy sweep workers (top-level, hence picklable)
 # ---------------------------------------------------------------------------
 
 
@@ -100,7 +231,7 @@ def _distance_pair_worker(payload):
     from repro.experiments.distance import run_distance_pair
 
     config, pair_index, include_cheating = payload
-    _, pairs = _cached_pairs(config, 2, config.max_pairs_distance)
+    _, pairs = pairs_for(config, 2, config.max_pairs_distance)
     return run_distance_pair(
         pairs[pair_index], config, include_cheating=include_cheating
     )
@@ -123,7 +254,7 @@ def _bandwidth_pair_worker(payload):
     from repro.traffic.gravity import GravityWorkload
 
     config, pair_index, flags, workload, provisioner = payload
-    dataset, pairs = _cached_pairs(config, 3, config.max_pairs_bandwidth)
+    dataset, pairs = pairs_for(config, 3, config.max_pairs_bandwidth)
     pair = pairs[pair_index]
     workload = workload or GravityWorkload(PopulationModel(dataset.city_db))
     return run_pair_cases(pair, config, flags, workload, provisioner)

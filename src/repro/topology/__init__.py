@@ -12,10 +12,13 @@ from repro.topology.generator import GeneratorConfig, TopologyGenerator
 from repro.topology.interconnect import Interconnection, IspPair, find_isp_pairs
 from repro.topology.isp import ISPTopology
 from repro.topology.serialization import (
+    config_fingerprint,
+    dataset_fingerprint,
     isp_from_dict,
     isp_to_dict,
     load_dataset_json,
     save_dataset_json,
+    stable_fingerprint,
 )
 
 __all__ = [
@@ -38,4 +41,7 @@ __all__ = [
     "isp_from_dict",
     "save_dataset_json",
     "load_dataset_json",
+    "stable_fingerprint",
+    "config_fingerprint",
+    "dataset_fingerprint",
 ]

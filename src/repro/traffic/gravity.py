@@ -46,6 +46,16 @@ class GravityWorkload:
         self.population = population
         self.mean_size = float(mean_size)
 
+    def fingerprint_payload(self) -> dict:
+        """Identifying state for sweep checkpoint fingerprints.
+
+        Two workloads that fingerprint equal must generate identical flow
+        sizes — resuming a checkpointed sweep under a different workload
+        must change the fingerprint and refuse, not silently return the
+        old workload's shards.
+        """
+        return {"population": self.population, "mean_size": self.mean_size}
+
     def size_fn(self, pair: IspPair):
         w_a = pop_gravity_weights(pair.isp_a, self.population)
         w_b = pop_gravity_weights(pair.isp_b, self.population)

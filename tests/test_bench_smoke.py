@@ -163,6 +163,37 @@ def test_smoke_incremental_stop(fixture):
         ) == slow.wants_to_stop(remaining, reassignable=reassignable)
 
 
+def test_smoke_sweep_runner_path(tmp_path):
+    """The unified sweep runner: warm start + checkpoint + legacy parity.
+
+    One-shot exercise of the runner machinery under tier-1: the sweep
+    path must stay bit-identical to the legacy driver loop, a warm-started
+    dataset must be a cache hit (not a rebuild), and a checkpointed rerun
+    must reproduce the sweep from shards alone.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.distance import run_distance_experiment
+    from repro.experiments.parallel import dataset_for, warm_dataset
+
+    config = replace(ExperimentConfig.quick(), max_pairs_distance=1)
+    assert dataset_for(config) is warm_dataset(config)
+
+    sweep = run_distance_experiment(config, checkpoint_dir=tmp_path)
+    legacy = run_distance_experiment(config, runner="legacy")
+    resumed = run_distance_experiment(
+        config, checkpoint_dir=tmp_path, resume=True
+    )
+    for a, b in ((sweep, legacy), (sweep, resumed)):
+        for s, o in zip(a.pairs, b.pairs):
+            assert s.pair_name == o.pair_name
+            assert s.total_gain_negotiated == o.total_gain_negotiated
+            assert np.array_equal(
+                s.flow_gains_negotiated, o.flow_gains_negotiated
+            )
+
+
 def test_smoke_reassigning_session(fixture):
     table, defaults, caps_a, caps_b = fixture
     session = NegotiationSession(

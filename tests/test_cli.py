@@ -27,6 +27,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["distance", "--preset", "huge"])
 
+    def test_runner_flags(self):
+        args = build_parser().parse_args(
+            ["distance", "--workers", "-1",
+             "--checkpoint-dir", "ck", "--resume"]
+        )
+        assert args.workers == -1
+        assert args.checkpoint_dir == "ck"
+        assert args.resume
+
+    def test_sweep_scenarios(self):
+        args = build_parser().parse_args(["sweep", "oscillation"])
+        assert args.scenario == "oscillation"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "grouped"])
+
 
 class TestCommands:
     def test_figure1(self):
@@ -73,3 +88,29 @@ class TestCommands:
         out = io.StringIO()
         assert main(["dataset", "--preset", "quick", "--seed", "3"],
                     out=out) == 0
+
+    def test_sweep_oscillation(self):
+        out = io.StringIO()
+        assert main(["sweep", "oscillation", "--preset", "quick"],
+                    out=out) == 0
+        text = out.getvalue()
+        assert "sweep: oscillation" in text
+        assert "fraction cycled" in text
+
+    def test_sweep_destination(self):
+        out = io.StringIO()
+        assert main(["sweep", "destination", "--preset", "quick"],
+                    out=out) == 0
+        assert "destination-negotiated" in out.getvalue()
+
+    def test_distance_checkpoint_resume(self, tmp_path):
+        out = io.StringIO()
+        args = ["distance", "--preset", "quick",
+                "--checkpoint-dir", str(tmp_path)]
+        assert main(args, out=out) == 0
+        shards = list(tmp_path.glob("distance/unit-*.pkl"))
+        assert shards
+        out2 = io.StringIO()
+        assert main(args + ["--resume"], out=out2) == 0
+        # The resumed run reproduces the report from shards alone.
+        assert out2.getvalue() == out.getvalue()

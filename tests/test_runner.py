@@ -1,0 +1,282 @@
+"""The unified sweep runner: specs, checkpoints, resume, equivalence."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.bandwidth import run_bandwidth_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distance import (
+    run_distance_experiment,
+    run_grouped_ablation,
+)
+from repro.experiments.parallel import pairs_for
+from repro.experiments.runner import (
+    CheckpointStore,
+    ScenarioSpec,
+    SweepRunner,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+    sweep_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return replace(
+        ExperimentConfig.quick(), max_pairs_distance=2, max_pairs_bandwidth=2
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_stock_scenarios_registered(self):
+        names = scenario_names()
+        for name in ("distance", "bandwidth", "grouped", "oscillation",
+                     "destination"):
+            assert name in names
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep scenario"):
+            get_scenario("no-such-sweep")
+
+    def test_run_scenario_by_name(self, tiny_config):
+        result = run_scenario("distance", tiny_config)
+        assert len(result.pairs) == 2
+
+
+# ---------------------------------------------------------------------------
+# Legacy equivalence: runner output bit-identical to the pre-runner drivers
+# ---------------------------------------------------------------------------
+
+
+class TestLegacyEquivalence:
+    def test_distance(self, tiny_config):
+        sweep = run_distance_experiment(tiny_config, include_cheating=True)
+        legacy = run_distance_experiment(
+            tiny_config, include_cheating=True, runner="legacy"
+        )
+        assert len(sweep.pairs) == len(legacy.pairs) > 0
+        for s, l in zip(sweep.pairs, legacy.pairs):
+            assert s.pair_name == l.pair_name
+            assert s.total_gain_optimal == l.total_gain_optimal
+            assert s.total_gain_negotiated == l.total_gain_negotiated
+            assert s.total_gain_cheating == l.total_gain_cheating
+            assert np.array_equal(s.flow_gains_optimal, l.flow_gains_optimal)
+            assert np.array_equal(
+                s.flow_gains_negotiated, l.flow_gains_negotiated
+            )
+
+    def test_bandwidth(self, tiny_config):
+        sweep = run_bandwidth_experiment(tiny_config, include_unilateral=True)
+        legacy = run_bandwidth_experiment(
+            tiny_config, include_unilateral=True, runner="legacy"
+        )
+        assert len(sweep.cases) == len(legacy.cases) > 0
+        assert sweep.cases == legacy.cases  # whole dataclasses, bit-exact
+
+    def test_grouped(self, tiny_config):
+        _, pairs = pairs_for(tiny_config, 2, tiny_config.max_pairs_distance)
+        sweep = run_grouped_ablation(pairs[0], [1, 3], tiny_config)
+        legacy = run_grouped_ablation(
+            pairs[0], [1, 3], tiny_config, runner="legacy"
+        )
+        assert sweep == legacy
+
+    def test_unknown_runner_rejected(self, tiny_config):
+        with pytest.raises(ConfigurationError, match="unknown runner"):
+            run_distance_experiment(tiny_config, runner="turbo")
+        with pytest.raises(ConfigurationError, match="unknown runner"):
+            run_bandwidth_experiment(tiny_config, runner="turbo")
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestSweepFingerprint:
+    def test_stable_across_calls(self, tiny_config):
+        a = sweep_fingerprint("distance", tiny_config, {"x": 1})
+        b = sweep_fingerprint("distance", tiny_config, {"x": 1})
+        assert a == b
+
+    def test_sensitive_to_everything(self, tiny_config):
+        base = sweep_fingerprint("distance", tiny_config, {"x": 1})
+        assert sweep_fingerprint("bandwidth", tiny_config, {"x": 1}) != base
+        assert sweep_fingerprint("distance", tiny_config, {"x": 2}) != base
+        assert (
+            sweep_fingerprint("distance", tiny_config.with_seed(8), {"x": 1})
+            != base
+        )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint store
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointStore:
+    def test_shard_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, "demo", "f" * 16)
+        store.prepare(3, resume=False)
+        payload = {"arr": np.arange(5.0), "n": 3}
+        store.save(1, payload)
+        assert store.completed(3) == {1}
+        loaded = store.load(1)
+        assert loaded["n"] == 3
+        assert np.array_equal(loaded["arr"], payload["arr"])
+        # No torn .tmp files left behind.
+        assert not list(store.dir.glob("*.tmp"))
+
+    def test_fresh_prepare_clears_stale_shards(self, tmp_path):
+        old = CheckpointStore(tmp_path, "demo", "a" * 16)
+        old.prepare(2, resume=False)
+        old.save(0, "stale")
+        new = CheckpointStore(tmp_path, "demo", "b" * 16)
+        assert new.prepare(2, resume=False) == set()
+        assert new.completed(2) == set()
+
+    def test_resume_requires_matching_fingerprint(self, tmp_path):
+        old = CheckpointStore(tmp_path, "demo", "a" * 16)
+        old.prepare(2, resume=False)
+        new = CheckpointStore(tmp_path, "demo", "b" * 16)
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            new.prepare(2, resume=True)
+
+    def test_resume_requires_matching_unit_count(self, tmp_path):
+        store = CheckpointStore(tmp_path, "demo", "a" * 16)
+        store.prepare(2, resume=False)
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            store.prepare(3, resume=True)
+
+
+# ---------------------------------------------------------------------------
+# Checkpointed sweeps end to end
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointedSweeps:
+    def test_resume_after_partial_completion_is_bit_identical(
+        self, tiny_config, tmp_path
+    ):
+        """Drop shards from a finished sweep; resume must rebuild exactly."""
+        full = run_distance_experiment(
+            tiny_config, checkpoint_dir=tmp_path / "ck"
+        )
+        # Simulate an interrupt: one unit's shard never landed.
+        store = CheckpointStore(
+            tmp_path / "ck", "distance",
+            sweep_fingerprint(
+                "distance", tiny_config, {"include_cheating": False}
+            ),
+        )
+        assert store.completed(len(full.pairs)) == set(range(len(full.pairs)))
+        store.shard_path(0).unlink()
+        resumed = run_distance_experiment(
+            tiny_config, checkpoint_dir=tmp_path / "ck", resume=True
+        )
+        assert len(resumed.pairs) == len(full.pairs)
+        for f, r in zip(full.pairs, resumed.pairs):
+            assert f.pair_name == r.pair_name
+            assert f.total_gain_negotiated == r.total_gain_negotiated
+            assert np.array_equal(
+                f.flow_gains_negotiated, r.flow_gains_negotiated
+            )
+
+    def test_interrupt_mid_sweep_then_resume(self, tiny_config, tmp_path):
+        """A sweep killed mid-run resumes from its completed shards only."""
+        tripwire = tmp_path / "explode"
+        executions = tmp_path / "executions.log"
+
+        def units(config, params):
+            return [0, 1, 2, 3]
+
+        def run_unit(config, params, unit):
+            with open(params["log"], "a", encoding="utf-8") as fh:
+                fh.write(f"{unit}\n")
+            if unit >= 2 and tripwire.exists():
+                raise KeyboardInterrupt
+            return unit * unit
+
+        def reduce(config, params, results):
+            return list(results)
+
+        spec = register_scenario(ScenarioSpec(
+            name="_test_interruptible",
+            enumerate_units=units,
+            run_unit=run_unit,
+            reduce=reduce,
+        ))
+        params = {"log": str(executions)}
+        runner = SweepRunner(checkpoint_dir=tmp_path / "ck")
+
+        tripwire.touch()
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(spec, tiny_config, params)
+
+        tripwire.unlink()
+        resumed = SweepRunner(
+            checkpoint_dir=tmp_path / "ck", resume=True
+        ).run(spec, tiny_config, params)
+        uninterrupted = SweepRunner().run(spec, tiny_config, params)
+        assert resumed == uninterrupted == [0, 1, 4, 9]
+        # Units 0 and 1 ran once before the interrupt and were NOT re-run.
+        executed = executions.read_text("utf-8").split()
+        assert executed.count("0") == 2  # interrupted run + uninterrupted run
+        assert executed.count("1") == 2
+        assert executed.count("2") == 3  # failed attempt + resume + plain run
+
+    def test_stale_config_refuses_resume(self, tiny_config, tmp_path):
+        run_distance_experiment(tiny_config, checkpoint_dir=tmp_path / "ck")
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            run_distance_experiment(
+                tiny_config.with_seed(123),
+                checkpoint_dir=tmp_path / "ck",
+                resume=True,
+            )
+
+    def test_stale_workload_refuses_resume(self, tiny_config, tmp_path):
+        """Workload state is part of the fingerprint, not just its class."""
+        from repro.geo.cities import default_city_database
+        from repro.geo.population import PopulationModel
+        from repro.traffic.gravity import GravityWorkload
+
+        population = PopulationModel(default_city_database())
+        run_bandwidth_experiment(
+            tiny_config,
+            workload=GravityWorkload(population, mean_size=1.0),
+            checkpoint_dir=tmp_path / "ck",
+        )
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            run_bandwidth_experiment(
+                tiny_config,
+                workload=GravityWorkload(population, mean_size=5.0),
+                checkpoint_dir=tmp_path / "ck",
+                resume=True,
+            )
+
+    def test_resume_without_checkpoint_dir_rejected(self, tiny_config):
+        with pytest.raises(ConfigurationError, match="requires a checkpoint"):
+            run_distance_experiment(tiny_config, resume=True)
+
+    def test_parallel_checkpointed_sweep(self, tiny_config, tmp_path):
+        direct = run_bandwidth_experiment(tiny_config)
+        checkpointed = run_bandwidth_experiment(
+            tiny_config, workers=2, checkpoint_dir=tmp_path / "ck"
+        )
+        resumed = run_bandwidth_experiment(
+            tiny_config, workers=2, checkpoint_dir=tmp_path / "ck",
+            resume=True,
+        )
+        assert direct.cases == checkpointed.cases == resumed.cases

@@ -7,10 +7,14 @@ import pytest
 from repro.errors import SerializationError
 from repro.topology.builders import build_line_isp
 from repro.topology.serialization import (
+    FINGERPRINT_LEN,
+    config_fingerprint,
+    dataset_fingerprint,
     isp_from_dict,
     isp_to_dict,
     load_dataset_json,
     save_dataset_json,
+    stable_fingerprint,
 )
 
 
@@ -60,3 +64,52 @@ class TestErrors:
         path.write_text(json.dumps({"schema": 99, "isps": []}))
         with pytest.raises(SerializationError):
             load_dataset_json(path)
+
+
+class TestFingerprints:
+    def test_stable_and_bounded(self):
+        a = stable_fingerprint({"x": 1, "y": [1, 2]})
+        b = stable_fingerprint({"y": [1, 2], "x": 1})
+        assert a == b  # key order canonicalized
+        assert len(a) == FINGERPRINT_LEN
+        assert int(a, 16) >= 0  # hex
+
+    def test_value_sensitivity(self):
+        assert stable_fingerprint({"x": 1}) != stable_fingerprint({"x": 2})
+        assert stable_fingerprint([1, 2]) != stable_fingerprint([2, 1])
+
+    def test_config_fingerprint_covers_nested_dataclasses(self, quick_config):
+        base = config_fingerprint(quick_config)
+        assert config_fingerprint(quick_config) == base
+        assert config_fingerprint(quick_config.with_seed(99)) != base
+        # Nested dataset config changes surface too.
+        from dataclasses import replace
+
+        bumped = replace(
+            quick_config, dataset=replace(quick_config.dataset, seed=1)
+        )
+        assert config_fingerprint(bumped) != base
+
+    def test_distinct_dataclass_types_do_not_collide(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class A:
+            x: int = 1
+
+        @dataclass(frozen=True)
+        class B:
+            x: int = 1
+
+        assert stable_fingerprint(A()) != stable_fingerprint(B())
+
+    def test_opaque_objects_reduce_to_class_identity(self):
+        class Thing:
+            pass
+
+        assert stable_fingerprint(Thing()) == stable_fingerprint(Thing())
+
+    def test_dataset_fingerprint(self, tiny_dataset):
+        base = dataset_fingerprint(tiny_dataset.isps)
+        assert dataset_fingerprint(tiny_dataset.isps) == base
+        assert dataset_fingerprint(tiny_dataset.isps[:-1]) != base
