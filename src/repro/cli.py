@@ -6,7 +6,10 @@
     python -m repro bandwidth --preset bench --unilateral --diverse
     python -m repro dataset --preset bench --out dataset.json
     python -m repro figure1
+    python -m repro multi-isp --isps 4 --shape chain --transit-scale 3
     python -m repro sweep oscillation --preset quick
+    python -m repro sweep multi_isp --preset quick --workers 2 \\
+        --checkpoint-dir ckpt/ --resume
     python -m repro sweep bandwidth --preset paper --workers -1 \\
         --checkpoint-dir ckpt/ --resume
 
@@ -21,7 +24,12 @@ by a (scenario, config) fingerprint so an interrupted sweep rerun with
 ``--resume`` recomputes only the missing units (a checkpoint written under
 a different fingerprint refuses to resume). The ``sweep`` subcommand runs
 any registered scenario — ``distance``, ``bandwidth``, ``oscillation``,
-``destination`` — and prints its summary claims.
+``destination``, ``multi_isp`` — and prints its summary claims.
+
+``multi-isp`` runs one multi-ISP coordination directly (chain / ring /
+random internetworks; chained pairwise sessions with transit background)
+and prints the per-round convergence trajectory; ``sweep multi_isp`` runs
+the same scenario through the checkpointable sweep runner.
 """
 
 from __future__ import annotations
@@ -44,9 +52,11 @@ _PRESETS = {
     "paper": ExperimentConfig.paper,
 }
 
-#: Scenarios the ``sweep`` subcommand exposes (dataset-driven sweeps only;
+#: Scenarios the ``sweep`` subcommand exposes (config-driven sweeps only;
 #: "grouped" needs a caller-supplied pair, so it stays API-only).
-_SWEEP_SCENARIOS = ("distance", "bandwidth", "oscillation", "destination")
+_SWEEP_SCENARIOS = (
+    "distance", "bandwidth", "oscillation", "destination", "multi_isp",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +108,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the dataset as JSON to this path")
 
     sub.add_parser("figure1", help="run the Figure 1 walkthrough")
+
+    p_multi = sub.add_parser(
+        "multi-isp",
+        help="chained pairwise negotiation over a multi-ISP internetwork",
+    )
+    add_preset(p_multi)
+    p_multi.add_argument("--isps", type=int, default=4, metavar="N",
+                         help="how many ISPs (default: 4)")
+    p_multi.add_argument("--shape", choices=("chain", "ring", "random"),
+                         default="chain",
+                         help="internetwork shape (default: chain)")
+    p_multi.add_argument("--rounds", type=int, default=4,
+                         help="coordination round limit (default: 4)")
+    p_multi.add_argument("--order", choices=("round_robin", "random"),
+                         default="round_robin",
+                         help="per-round edge order (default: round_robin)")
+    p_multi.add_argument("--no-transit", action="store_true",
+                         help="disable inter-domain transit background")
+    p_multi.add_argument("--transit-scale", type=float, default=3.0,
+                         help="mean per-PoP transit demand (default: 3.0)")
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -229,6 +259,40 @@ def _run_figure1(out) -> int:
     return 0
 
 
+def _run_multi_isp(args: argparse.Namespace, out) -> int:
+    from repro.experiments.internetwork import run_multi_isp
+
+    config = _config(args)
+    result = run_multi_isp(
+        config,
+        n_isps=args.isps,
+        shape=args.shape,
+        max_rounds=args.rounds,
+        order=args.order,
+        include_transit=not args.no_transit,
+        transit_scale=args.transit_scale,
+    )
+    print(f"internetwork: {len(result.isp_names)} ISPs "
+          f"({', '.join(result.isp_names)}), "
+          f"{len(result.edge_names)} peering edges", file=out)
+    transit_note = "no transit" if args.no_transit else "with transit"
+    print(f"initial global MEL ({transit_note}): {result.initial_mel:.4f}",
+          file=out)
+    for round_ in result.rounds:
+        sessions = round_.n_sessions
+        print(f"  round {round_.round_index}: {sessions} sessions, "
+              f"{round_.n_changed} flows moved, "
+              f"global MEL {round_.global_mel:.4f}", file=out)
+    claims = [
+        ("converged", "yes" if result.converged else
+         f"no (round limit {args.rounds})"),
+        ("global MEL initial -> final",
+         f"{result.initial_mel:.4f} -> {result.final_mel:.4f}"),
+    ]
+    print(format_claims("multi-ISP coordination", claims), file=out)
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace, out) -> int:
     from repro.experiments.runner import SweepRunner, get_scenario
 
@@ -255,6 +319,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _run_dataset(args, out)
     if args.command == "figure1":
         return _run_figure1(out)
+    if args.command == "multi-isp":
+        return _run_multi_isp(args, out)
     if args.command == "sweep":
         return _run_sweep(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -47,6 +47,15 @@ from repro.core.strategies import (
     VetoIfWorseThanDefault,
 )
 
+# Imported last: the coordinator layers on the routing/topology
+# substrates, which themselves import core submodules.
+from repro.core.multi_session import (  # noqa: E402
+    CoordinationRound,
+    EdgeSessionRecord,
+    MultiNegotiationResult,
+    MultiSessionCoordinator,
+)
+
 __all__ = [
     "PreferenceRange",
     "PreferenceMapper",
@@ -91,4 +100,8 @@ __all__ = [
     "StopMessage",
     "message_to_dict",
     "message_from_dict",
+    "MultiSessionCoordinator",
+    "MultiNegotiationResult",
+    "CoordinationRound",
+    "EdgeSessionRecord",
 ]

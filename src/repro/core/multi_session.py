@@ -1,0 +1,566 @@
+"""Chained pairwise negotiation across a multi-ISP internetwork.
+
+The protocol of Section 4 is strictly two-party; the paper's discussion
+frames an Internet where *every adjacent ISP pair* runs it and the global
+behaviour emerges from the composition. :class:`MultiSessionCoordinator`
+plays that out: each internetwork edge holds a full PoP-to-PoP flowset and
+cost table (direction ``isp_a -> isp_b``, gravity-model sizes, exactly the
+bandwidth experiment's per-pair setup), transit demands between
+non-adjacent ISPs are routed along BGP AS paths
+(:mod:`repro.routing.interdomain`) and loaded onto the intermediate ISPs as
+negotiation-exogenous background, and the coordinator then runs the
+existing two-party :class:`~repro.core.session.NegotiationSession` on every
+edge in rounds.
+
+Sessions interact through link loads: an ISP that peers on several edges
+sees the other edges' current placements (plus transit) as its base load,
+so one edge's agreement shifts the preferences of the next — the
+"interaction between overlapping sessions" the paper's discussion asks
+about. Rounds iterate until a full pass changes nothing (convergence) or a
+round limit hits; re-agreements are Pareto-gated on each ISP's own-network
+MEL, exactly like the bandwidth experiment's continuous renegotiation, so
+the composed system cannot oscillate by construction.
+
+Performance contract: per-edge tables are built once; every renegotiation
+scope is *derived* from the full table through the structural fast paths
+(:meth:`~repro.routing.costs.PairCostTable.subset` — row gather, flowset
+view, CSR incidence filter), so rounds perform zero ragged recompilation.
+An edge whose observed context (its two base-load vectors and current
+choices) has not changed since its last session is skipped outright, and an
+empty renegotiation scope short-circuits without building a session — the
+flow-axis analogue of the bandwidth experiment's empty-affected-set
+short-circuit. With a 2-ISP chain the coordinator degenerates to exactly
+one plain pairwise session, bit-identical to calling
+:class:`NegotiationSession` directly (the differential tests pin this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capacity.loads import link_loads
+from repro.capacity.provisioning import ProportionalCapacity
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import LoadAwareEvaluator
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import ReassignEveryFraction
+from repro.errors import ConfigurationError
+from repro.geo.cities import default_city_database
+from repro.geo.population import PopulationModel
+from repro.metrics.mel import max_excess_load
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices
+from repro.routing.flows import build_full_flowset
+from repro.routing.interdomain import (
+    propagate_interdomain_routes,
+    transit_demand_hops,
+)
+from repro.routing.paths import IntradomainRouting
+from repro.topology.internetwork import Internetwork
+from repro.traffic.gravity import GravityWorkload, pop_gravity_weights
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "EdgeSessionRecord",
+    "CoordinationRound",
+    "MultiNegotiationResult",
+    "MultiSessionCoordinator",
+]
+
+_ORDERS = ("round_robin", "random")
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class EdgeSessionRecord:
+    """What happened at one (round, edge) slot of the coordination.
+
+    ``mel_per_isp`` snapshots every ISP's own-network MEL *after* the slot
+    (internetwork member order); ``global_mel`` is their maximum. A skipped
+    slot (unchanged context or empty scope) has ``ran_session=False`` and
+    carries the state unchanged.
+    """
+
+    round_index: int
+    slot: int
+    edge_index: int
+    pair_name: str
+    scope_size: int
+    ran_session: bool
+    adopted: bool
+    n_changed: int
+    mel_per_isp: tuple[float, ...]
+    global_mel: float
+
+
+@dataclass
+class CoordinationRound:
+    """One full pass over the internetwork's edges."""
+
+    round_index: int
+    order: tuple[int, ...]
+    records: list[EdgeSessionRecord] = field(default_factory=list)
+
+    @property
+    def n_sessions(self) -> int:
+        return sum(r.ran_session for r in self.records)
+
+    @property
+    def n_changed(self) -> int:
+        return sum(r.n_changed for r in self.records)
+
+    @property
+    def global_mel(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.records[-1].global_mel
+
+
+@dataclass
+class MultiNegotiationResult:
+    """Trajectory and final placements of a multi-ISP coordination run."""
+
+    isp_names: tuple[str, ...]
+    edge_names: tuple[str, ...]
+    rounds: list[CoordinationRound]
+    converged: bool
+    initial_mel_per_isp: tuple[float, ...]
+    choices: list[np.ndarray]
+    defaults: list[np.ndarray]
+
+    @property
+    def initial_mel(self) -> float:
+        if not self.initial_mel_per_isp:
+            return 0.0
+        return max(self.initial_mel_per_isp)
+
+    def mel_trajectory(self) -> list[float]:
+        """Global MEL after each round (index 0 = after round 0)."""
+        return [round_.global_mel for round_ in self.rounds]
+
+    @property
+    def final_mel(self) -> float:
+        if not self.rounds:
+            return self.initial_mel
+        return self.rounds[-1].global_mel
+
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def records(self) -> list[EdgeSessionRecord]:
+        return [r for round_ in self.rounds for r in round_.records]
+
+
+class MultiSessionCoordinator:
+    """Runs pairwise sessions over every internetwork edge, in rounds.
+
+    Attributes mirror the bandwidth experiment's knobs: ``config`` supplies
+    the preference range, ratio unit and reassignment fraction; ``workload``
+    the gravity flow sizes; ``provisioner`` the capacity model. ``order``
+    selects the per-round edge order — ``"round_robin"`` (edge-index order
+    every round) or ``"random"`` (a seeded shuffle per round). Transit
+    background can be disabled (``include_transit=False``) to study pure
+    session interaction.
+    """
+
+    def __init__(
+        self,
+        internetwork: Internetwork,
+        config: "ExperimentConfig | None" = None,
+        workload: GravityWorkload | None = None,
+        provisioner: ProportionalCapacity | None = None,
+        order: str = "round_robin",
+        seed: int | None = None,
+        max_rounds: int = 8,
+        include_transit: bool = True,
+        transit_scale: float = 1.0,
+        subset_engine: str = "incidence",
+    ):
+        if order not in _ORDERS:
+            raise ConfigurationError(
+                f"order must be one of {_ORDERS}, got {order!r}"
+            )
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        if transit_scale < 0:
+            raise ConfigurationError("transit_scale must be >= 0")
+        self.net = internetwork
+        if config is None:
+            # Imported lazily: core must not depend on the experiments
+            # package at module load (the experiment drivers import core).
+            from repro.experiments.config import ExperimentConfig
+
+            config = ExperimentConfig()
+        self.config = config
+        self.workload = workload or GravityWorkload(
+            PopulationModel(default_city_database())
+        )
+        self.provisioner = provisioner or ProportionalCapacity()
+        self.order = order
+        self.seed = self.config.seed if seed is None else seed
+        self.max_rounds = max_rounds
+        self.include_transit = include_transit
+        self.transit_scale = transit_scale
+        self.subset_engine = subset_engine
+
+        self._routings = {
+            isp.name: IntradomainRouting(isp) for isp in self.net.isps
+        }
+        self._tables = []
+        self._defaults = []
+        self._choices = []
+        for edge in self.net.edges:
+            flowset = build_full_flowset(edge, self.workload.size_fn(edge))
+            table = build_pair_cost_table(
+                edge,
+                flowset,
+                self._routings[edge.isp_a.name],
+                self._routings[edge.isp_b.name],
+            )
+            defaults = early_exit_choices(table)
+            self._tables.append(table)
+            self._defaults.append(defaults)
+            self._choices.append(defaults.copy())
+
+        # Capacities are provisioned for the *planned* traffic — each
+        # edge's default (early-exit) placement — before transit enters.
+        # Transit then stresses the intermediate ISPs as unplanned
+        # background, the multi-ISP analogue of the bandwidth experiment's
+        # failure stress, and the sessions negotiate relief. With two ISPs
+        # (no transit) this reduces to capacities proportional to the
+        # pair's default loads, the bandwidth experiment's exact setup.
+        #: Per edge: cached per-side load vectors of the *current* choices,
+        #: invalidated on adoption. Only one edge's placement can change
+        #: per slot, so the record-keeping (`_isp_loads`/`_mels` on every
+        #: slot) sums cached vectors instead of re-running full
+        #: scatter-adds.
+        self._load_cache: list[dict[str, np.ndarray]] = [
+            {} for _ in range(self.net.n_edges())
+        ]
+        self._caps = {}
+        for isp in self.net.isps:
+            planned = np.zeros(isp.n_links())
+            for index in self.net.edges_of(isp.name):
+                side = self.net.edge_side(index, isp.name)
+                # choices == defaults here, so this also warms the
+                # per-edge load cache with the default placements.
+                planned = planned + self._edge_side_loads(index, side)
+            self._caps[isp.name] = self.provisioner.capacities(planned)
+        self._transit = self._transit_loads()
+        #: Per edge: the (base_a, base_b) context of the last session run,
+        #: or None before the first. Drives skip and scope decisions.
+        self._last_context: list[tuple[np.ndarray, np.ndarray] | None] = [
+            None
+        ] * self.net.n_edges()
+        self._negotiated_once = [False] * self.net.n_edges()
+
+    # -- load accounting -----------------------------------------------------
+
+    def _transit_loads(self) -> dict[str, np.ndarray]:
+        """Background link loads from inter-ISP transit demands.
+
+        One demand per (source PoP, destination ISP) over every ordered
+        *non-adjacent* ISP pair (adjacent traffic is modelled by the edge
+        flowsets); volumes are gravity-normalized so the mean per-source-PoP
+        demand equals ``transit_scale``. Deterministic: ISP pairs in member
+        order, source PoPs ascending.
+        """
+        loads = {
+            isp.name: np.zeros(isp.n_links()) for isp in self.net.isps
+        }
+        if (
+            not self.include_transit
+            or self.transit_scale == 0
+            or self.net.n_isps() < 3
+            or self.net.n_edges() == 0
+        ):
+            return loads
+        routes = propagate_interdomain_routes(self.net)
+        adjacent = {
+            frozenset((e.isp_a.name, e.isp_b.name)) for e in self.net.edges
+        }
+        for src_isp in self.net.isps:
+            weights = pop_gravity_weights(
+                src_isp, self.workload.population
+            )
+            volumes = self.transit_scale * weights / weights.mean()
+            for dst_isp in self.net.isps:
+                if dst_isp.name == src_isp.name:
+                    continue
+                if frozenset((src_isp.name, dst_isp.name)) in adjacent:
+                    continue
+                if not routes.reachable(src_isp.name, dst_isp.name):
+                    continue
+                for pop in range(src_isp.n_pops()):
+                    hops = transit_demand_hops(
+                        self.net,
+                        routes,
+                        src_isp.name,
+                        pop,
+                        dst_isp.name,
+                        self._routings,
+                    )
+                    for hop in hops:
+                        if hop.links.size:
+                            loads[hop.isp][hop.links] += volumes[pop]
+        return loads
+
+    def _edge_side_loads(self, edge_index: int, side: str) -> np.ndarray:
+        """One edge's current per-link loads on one side, cached.
+
+        The cache entry is exactly ``link_loads`` of the edge's current
+        choices (bit-identical by determinism) and is dropped whenever a
+        new agreement is adopted.
+        """
+        cached = self._load_cache[edge_index].get(side)
+        if cached is None:
+            cached = link_loads(
+                self._tables[edge_index], self._choices[edge_index], side
+            )
+            self._load_cache[edge_index][side] = cached
+        return cached
+
+    def _isp_loads(
+        self, name: str, exclude_edge: int | None = None
+    ) -> np.ndarray:
+        """Current link loads of one ISP: transit + every edge's placement.
+
+        ``exclude_edge`` omits one edge's contribution — the session for
+        that edge sees the rest as its base load. Accumulation order is
+        transit first, then edges ascending, so the computation is
+        deterministic.
+        """
+        total = self._transit[name].copy()
+        for index in self.net.edges_of(name):
+            if index == exclude_edge:
+                continue
+            side = self.net.edge_side(index, name)
+            total = total + self._edge_side_loads(index, side)
+        return total
+
+    def _mels(self) -> tuple[float, ...]:
+        return tuple(
+            max_excess_load(self._isp_loads(name), self._caps[name])
+            for name in self.net.names()
+        )
+
+    # -- per-edge sessions ----------------------------------------------------
+
+    def _scope(
+        self, edge_index: int, base_a: np.ndarray, base_b: np.ndarray
+    ) -> np.ndarray:
+        """Flow indices to (re)negotiate on one edge this round.
+
+        First session: every flow. Renegotiation: only the flows whose
+        candidate paths touch a link whose base load changed since the last
+        session — other flows' load-aware preference rows are unchanged, so
+        re-running them could only reproduce the prior outcome. Computed on
+        the compiled incidence (one mask + gather per side), keeping the
+        round loop free of ragged scans.
+        """
+        table = self._tables[edge_index]
+        if not self._negotiated_once[edge_index]:
+            return np.arange(table.n_flows, dtype=np.intp)
+        last_a, last_b = self._last_context[edge_index]
+        affected = np.zeros(table.n_flows, dtype=bool)
+        for side, now, before in (("a", base_a, last_a), ("b", base_b, last_b)):
+            changed = now != before
+            if not changed.any():
+                continue
+            incidence = table.incidence(side)
+            touched = changed[incidence.indices]
+            affected[incidence.entry_flow[touched]] = True
+        return np.flatnonzero(affected)
+
+    def _run_session(
+        self, edge_index: int, scope: np.ndarray,
+        base_a: np.ndarray, base_b: np.ndarray,
+    ) -> np.ndarray:
+        """One pairwise session over the scoped sub-table; returns choices.
+
+        Mirrors the bandwidth experiment's session construction exactly:
+        load-aware evaluators on both sides, preferences reassigned every
+        ``config.reassign_fraction`` of traffic, defaults = the flows'
+        current placements.
+        """
+        table = self._tables[edge_index]
+        choices = self._choices[edge_index]
+        out_of_scope = np.ones(table.n_flows, dtype=bool)
+        out_of_scope[scope] = False
+        eval_base_a = link_loads(
+            table, choices, "a", active=out_of_scope, base=base_a
+        )
+        eval_base_b = link_loads(
+            table, choices, "b", active=out_of_scope, base=base_b
+        )
+        sub_table = table.subset(scope, engine=self.subset_engine)
+        defaults_sub = choices[scope]
+        p_range = PreferenceRange(self.config.preference_p)
+        edge = self.net.edges[edge_index]
+        agent_a = NegotiationAgent(
+            "a",
+            LoadAwareEvaluator(
+                sub_table,
+                "a",
+                self._caps[edge.isp_a.name],
+                defaults_sub,
+                base_loads=eval_base_a,
+                range_=p_range,
+                ratio_unit=self.config.ratio_unit,
+            ),
+        )
+        agent_b = NegotiationAgent(
+            "b",
+            LoadAwareEvaluator(
+                sub_table,
+                "b",
+                self._caps[edge.isp_b.name],
+                defaults_sub,
+                base_loads=eval_base_b,
+                range_=p_range,
+                ratio_unit=self.config.ratio_unit,
+            ),
+        )
+        session = NegotiationSession(
+            agent_a,
+            agent_b,
+            sizes=sub_table.flowset.sizes(),
+            defaults=defaults_sub,
+            config=SessionConfig(
+                reassignment_policy=ReassignEveryFraction(
+                    self.config.reassign_fraction
+                )
+            ),
+        )
+        return session.run().choices
+
+    def _edge_mels(
+        self, edge_index: int, choices: np.ndarray,
+        base_a: np.ndarray, base_b: np.ndarray,
+    ) -> tuple[float, float]:
+        """Both endpoint ISPs' own-network MELs under a candidate placement."""
+        table = self._tables[edge_index]
+        edge = self.net.edges[edge_index]
+        loads_a = link_loads(table, choices, "a", base=base_a)
+        loads_b = link_loads(table, choices, "b", base=base_b)
+        return (
+            max_excess_load(loads_a, self._caps[edge.isp_a.name]),
+            max_excess_load(loads_b, self._caps[edge.isp_b.name]),
+        )
+
+    # -- the coordination loop -------------------------------------------------
+
+    def run(self) -> MultiNegotiationResult:
+        """Execute rounds until convergence or the round limit."""
+        rng = derive_rng(self.seed, "multi-isp-order")
+        rounds: list[CoordinationRound] = []
+        initial_mels = self._mels()
+        converged = self.net.n_edges() == 0
+        for round_index in range(self.max_rounds):
+            if converged:
+                break
+            order = list(range(self.net.n_edges()))
+            if self.order == "random":
+                rng.shuffle(order)
+            round_ = CoordinationRound(
+                round_index=round_index, order=tuple(order)
+            )
+            for slot, edge_index in enumerate(order):
+                record = self._run_slot(round_index, slot, edge_index)
+                round_.records.append(record)
+            rounds.append(round_)
+            if round_.n_changed == 0:
+                converged = True
+        return MultiNegotiationResult(
+            isp_names=self.net.names(),
+            edge_names=tuple(e.name for e in self.net.edges),
+            rounds=rounds,
+            converged=converged,
+            initial_mel_per_isp=initial_mels,
+            choices=[c.copy() for c in self._choices],
+            defaults=[d.copy() for d in self._defaults],
+        )
+
+    def _run_slot(
+        self, round_index: int, slot: int, edge_index: int
+    ) -> EdgeSessionRecord:
+        edge = self.net.edges[edge_index]
+        base_a = self._isp_loads(edge.isp_a.name, exclude_edge=edge_index)
+        base_b = self._isp_loads(edge.isp_b.name, exclude_edge=edge_index)
+
+        def skip(scope_size: int = 0) -> EdgeSessionRecord:
+            mels = self._mels()
+            return EdgeSessionRecord(
+                round_index=round_index,
+                slot=slot,
+                edge_index=edge_index,
+                pair_name=edge.name,
+                scope_size=scope_size,
+                ran_session=False,
+                adopted=False,
+                n_changed=0,
+                mel_per_isp=mels,
+                global_mel=max(mels) if mels else 0.0,
+            )
+
+        last = self._last_context[edge_index]
+        if (
+            last is not None
+            and np.array_equal(base_a, last[0])
+            and np.array_equal(base_b, last[1])
+        ):
+            # Nothing this edge observes has moved since its last session:
+            # the session would reproduce itself. Skip without touching it.
+            return skip()
+
+        scope = self._scope(edge_index, base_a, base_b)
+        if scope.size == 0:
+            # The context changed only on links no flow of this edge can
+            # touch — an empty negotiation scope. Short-circuit without
+            # deriving a sub-table or spinning up a zero-flow session
+            # (the PR 3 empty-affected-set rule, applied to rounds).
+            self._last_context[edge_index] = (base_a, base_b)
+            return skip()
+
+        proposal_sub = self._run_session(edge_index, scope, base_a, base_b)
+        proposal = self._choices[edge_index].copy()
+        proposal[scope] = proposal_sub
+
+        first = not self._negotiated_once[edge_index]
+        if first:
+            adopted = True
+        else:
+            # Pareto gate, as in continuous renegotiation: adopt only if
+            # neither endpoint's own-network MEL worsens.
+            old_a, old_b = self._edge_mels(
+                edge_index, self._choices[edge_index], base_a, base_b
+            )
+            new_a, new_b = self._edge_mels(
+                edge_index, proposal, base_a, base_b
+            )
+            adopted = new_a <= old_a + _EPS and new_b <= old_b + _EPS
+        n_changed = 0
+        if adopted:
+            n_changed = int(
+                np.count_nonzero(proposal != self._choices[edge_index])
+            )
+            self._choices[edge_index] = proposal
+            self._load_cache[edge_index] = {}
+        self._negotiated_once[edge_index] = True
+        self._last_context[edge_index] = (base_a, base_b)
+        mels = self._mels()
+        return EdgeSessionRecord(
+            round_index=round_index,
+            slot=slot,
+            edge_index=edge_index,
+            pair_name=edge.name,
+            scope_size=int(scope.size),
+            ran_session=True,
+            adopted=adopted,
+            n_changed=n_changed,
+            mel_per_isp=mels,
+            global_mel=max(mels) if mels else 0.0,
+        )

@@ -14,6 +14,12 @@ from repro.experiments.distance import (
     run_distance_pair,
     run_grouped_ablation,
 )
+from repro.experiments.internetwork import (
+    MultiIspExperimentResult,
+    MultiIspUnitRecord,
+    run_multi_isp,
+    run_multi_isp_experiment,
+)
 from repro.experiments.extensions import (
     DestinationExperimentResult,
     DestinationPairResult,
@@ -62,6 +68,10 @@ __all__ = [
     "run_oscillation_pair",
     "run_oscillation_experiment",
     "simulate_best_response",
+    "MultiIspUnitRecord",
+    "MultiIspExperimentResult",
+    "run_multi_isp",
+    "run_multi_isp_experiment",
     "ScenarioSpec",
     "SweepRunner",
     "CheckpointStore",

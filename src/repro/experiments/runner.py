@@ -117,6 +117,7 @@ _SCENARIO_MODULES = (
     "repro.experiments.bandwidth",
     "repro.experiments.oscillation",
     "repro.experiments.extensions",
+    "repro.experiments.internetwork",
 )
 
 
@@ -341,6 +342,16 @@ class SweepRunner:
             for index in todo:
                 yield index, spec.run_unit(config, params, units[index])
             return
+        _ensure_registered()
+        if _SCENARIOS.get(spec.name) is not spec:
+            # Workers resolve specs by name; an unregistered (or shadowed)
+            # spec would fail deep inside the pool — or worse, silently run
+            # a different scenario's functions. Refuse up front.
+            raise ConfigurationError(
+                f"scenario {spec.name!r} is not the registered spec of that "
+                "name; parallel sweeps resolve specs by name in worker "
+                "processes — call register_scenario(spec) first"
+            )
         mp_context = fork_context()
         if self.warm_start and spec.uses_dataset:
             # Build the dataset once here in the parent; on fork platforms

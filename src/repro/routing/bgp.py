@@ -19,7 +19,13 @@ from typing import Iterable, Sequence
 
 from repro.errors import RoutingError
 
-__all__ = ["RouteAdvertisement", "decide_best_route", "BgpSpeaker"]
+__all__ = [
+    "RouteAdvertisement",
+    "decide_best_route",
+    "BgpSpeaker",
+    "originate_advertisement",
+    "export_advertisement",
+]
 
 
 @dataclass(frozen=True)
@@ -115,6 +121,48 @@ def decide_best_route(
     candidates = [r for r in candidates if r.igp_distance == best_igp]
 
     return min(candidates, key=lambda r: r.interconnection)
+
+
+def originate_advertisement(
+    asn: str, prefix: str, interconnection: int
+) -> RouteAdvertisement:
+    """The advertisement an AS sends a neighbor for a prefix it originates.
+
+    The AS path is just the originator itself; ``interconnection``
+    identifies the peering link the advertisement crosses (the receiver's
+    view).
+    """
+    return RouteAdvertisement(
+        prefix=prefix,
+        neighbor_as=asn,
+        as_path=(asn,),
+        interconnection=interconnection,
+    )
+
+
+def export_advertisement(
+    asn: str, selected: RouteAdvertisement, interconnection: int
+) -> RouteAdvertisement:
+    """The advertisement an AS sends a neighbor for a route it selected.
+
+    Standard path-vector export: the exporter prepends itself to the AS
+    path of its best route, and the advertisement is re-stamped with the
+    peering link it crosses. ``local_pref`` and ``med`` are *non-transitive*
+    — local preference is the importer's own policy and MEDs only compare
+    routes from the AS that set them — so both reset to their defaults at
+    the AS boundary rather than leaking the exporter's local values.
+    Receivers apply their own loop prevention (:meth:`BgpSpeaker.receive`
+    drops paths containing themselves), which is what lets multi-ISP
+    propagation terminate.
+    """
+    if not asn:
+        raise RoutingError("exporting AS name cannot be empty")
+    return RouteAdvertisement(
+        prefix=selected.prefix,
+        neighbor_as=asn,
+        as_path=(asn,) + selected.as_path,
+        interconnection=interconnection,
+    )
 
 
 @dataclass

@@ -214,6 +214,27 @@ class PairCostTable:
             down_links=tuple(self.down_links[i] for i in rows),
         )
         if engine == "incidence":
+            if idx.size == 0:
+                # An empty scope (e.g. a zero-flow internetwork edge) gets
+                # structurally-empty incidences up front — identical to
+                # what compiling the empty ragged table would build, but
+                # without ever invoking the compiler, warm parent or not.
+                for attr, isp in (
+                    ("_incidence_a", self.pair.isp_a),
+                    ("_incidence_b", self.pair.isp_b),
+                ):
+                    object.__setattr__(
+                        derived, attr,
+                        PathIncidence(
+                            n_flows=0,
+                            n_alternatives=self.n_alternatives,
+                            n_links=isp.n_links(),
+                            indptr=np.zeros(1, dtype=np.intp),
+                            indices=np.empty(0, dtype=np.intp),
+                            entry_flow=np.empty(0, dtype=np.intp),
+                        ),
+                    )
+                return derived
             for attr in ("_incidence_a", "_incidence_b"):
                 cached = self.__dict__.get(attr)
                 if cached is not None:

@@ -10,6 +10,12 @@ Three pure functions over a :class:`~repro.routing.costs.PairCostTable`:
   minimizes total geographic distance across both ISPs (Section 5.1's
   "globally optimal routing").
 
+:func:`early_exit_for_pop` is the per-PoP form of the hot-potato rule used
+by the inter-domain layer (:mod:`repro.routing.interdomain`): transit
+traffic crossing an intermediate ISP exits toward its next hop at the
+interconnection closest to wherever it entered, without needing a flow row
+in any cost table.
+
 Ties break toward the lowest interconnection index, deterministically.
 """
 
@@ -17,9 +23,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import RoutingError
 from repro.routing.costs import PairCostTable
+from repro.routing.paths import IntradomainRouting
+from repro.topology.interconnect import IspPair
 
-__all__ = ["early_exit_choices", "late_exit_choices", "optimal_exit_choices"]
+__all__ = [
+    "early_exit_choices",
+    "late_exit_choices",
+    "optimal_exit_choices",
+    "early_exit_for_pop",
+]
 
 
 def early_exit_choices(table: PairCostTable) -> np.ndarray:
@@ -35,3 +49,29 @@ def late_exit_choices(table: PairCostTable) -> np.ndarray:
 def optimal_exit_choices(table: PairCostTable) -> np.ndarray:
     """Globally optimal for the distance metric: argmin of total km."""
     return np.argmin(table.total_km(), axis=1).astype(np.intp)
+
+
+def early_exit_for_pop(
+    pair: IspPair,
+    pop_index: int,
+    side: str = "a",
+    routing: IntradomainRouting | None = None,
+) -> int:
+    """Hot-potato interconnection for traffic at one PoP of ``pair.isp(side)``.
+
+    The per-PoP analogue of :func:`early_exit_choices`: the interconnection
+    with the smallest routing-weight distance from ``pop_index``, ties
+    toward the lowest interconnection index. ``routing`` may be passed in
+    to share the ISP's Dijkstra cache across calls.
+    """
+    isp = pair.isp(side)
+    routing = routing or IntradomainRouting(isp)
+    if routing.isp.name != isp.name:
+        raise RoutingError(
+            f"routing cache is for {routing.isp.name!r}, not {isp.name!r}"
+        )
+    exit_pops = pair.exit_pops(side)
+    distances = np.asarray(
+        [routing.weight_distance(exit_pop, pop_index) for exit_pop in exit_pops]
+    )
+    return int(np.argmin(distances))

@@ -232,7 +232,19 @@ class FlowSet:
         :meth:`~repro.routing.costs.PairCostTable.subset` validates the
         index set once for the whole table and builds its flowset through
         this, so the hot per-failure-case path pays a single validation.
+
+        An empty selection (``subset([])``, a zero-flow internetwork edge
+        scope) short-circuits to a fresh empty view without materializing
+        the parent's ``srcs``/``dsts``/``sizes`` buffers just to gather
+        nothing from them.
         """
+        if idx.size == 0:
+            return FlowSet._from_arrays(
+                self._pair,
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=float),
+            )
         return FlowSet._from_arrays(
             self._pair, self.srcs()[idx], self.dsts()[idx], self.sizes()[idx]
         )

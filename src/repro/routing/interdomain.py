@@ -1,0 +1,235 @@
+"""Inter-domain path selection across a multi-ISP internetwork.
+
+Glue between the AS-level peering graph
+(:class:`~repro.topology.internetwork.Internetwork`) and the BGP decision
+process of :mod:`repro.routing.bgp`: every ISP originates one prefix (its
+own name), advertisements propagate edge by edge with standard path-vector
+export (prepend self, receiver drops looping paths), and each ISP selects
+its best route per destination with :func:`~repro.routing.bgp.decide_best_route`.
+The result is a deterministic next-hop table from which AS paths and the
+edge sequence a flow traverses — possibly *transiting* intermediate ISPs —
+are derived.
+
+Concrete transit traffic is mapped onto links by
+:func:`transit_demand_hops`: a demand sourced at a PoP of the origin ISP
+crosses each on-path ISP from its entry PoP to the hot-potato exit toward
+the next hop (:func:`~repro.routing.exits.early_exit_for_pop`), loading the
+intra-ISP links it traverses. Traffic terminates at its entry PoP in the
+destination ISP (deliveries happen at the peering city), which keeps the
+model free of a destination-side handoff convention; the coordination layer
+accumulates the per-ISP link loads as negotiation-exogenous background.
+
+Propagation is synchronous Bellman-Ford over at most ``n_isps`` rounds
+(a loop-free AS path cannot be longer), with deterministic tie-breaking:
+``decide_best_route`` prefers the shortest AS path, then the lowest edge
+index (its router-id stand-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.bgp import (
+    RouteAdvertisement,
+    decide_best_route,
+    export_advertisement,
+    originate_advertisement,
+)
+from repro.routing.exits import early_exit_for_pop
+from repro.routing.paths import IntradomainRouting
+from repro.topology.internetwork import Internetwork
+
+__all__ = [
+    "InterdomainRoutes",
+    "propagate_interdomain_routes",
+    "TransitHop",
+    "transit_demand_hops",
+]
+
+
+class InterdomainRoutes:
+    """The converged next-hop tables of an internetwork.
+
+    ``best[(src, dst)]`` holds the advertisement ISP ``src`` selected for
+    ISP ``dst``'s prefix; missing keys mean ``dst`` is unreachable from
+    ``src`` (a disconnected internetwork).
+    """
+
+    def __init__(
+        self,
+        internetwork: Internetwork,
+        best: dict[tuple[str, str], RouteAdvertisement],
+    ):
+        self._net = internetwork
+        self._best = dict(best)
+        names = internetwork.names()
+        self._unreachable = tuple(
+            (src, dst)
+            for src in names
+            for dst in names
+            if src != dst and (src, dst) not in self._best
+        )
+
+    @property
+    def internetwork(self) -> Internetwork:
+        return self._net
+
+    @property
+    def unreachable_pairs(self) -> tuple[tuple[str, str], ...]:
+        """Ordered (src, dst) ISP pairs with no route (disconnection)."""
+        return self._unreachable
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return src == dst or (src, dst) in self._best
+
+    def _route(self, src: str, dst: str) -> RouteAdvertisement:
+        try:
+            return self._best[(src, dst)]
+        except KeyError:
+            raise RoutingError(
+                f"{src}: no inter-domain route toward {dst}"
+            ) from None
+
+    def next_hop(self, src: str, dst: str) -> str:
+        """The neighbor ISP ``src`` forwards traffic for ``dst`` to."""
+        return self._route(src, dst).neighbor_as
+
+    def next_edge(self, src: str, dst: str) -> int:
+        """The internetwork edge index that traffic leaves ``src`` on."""
+        return self._route(src, dst).interconnection
+
+    def as_path(self, src: str, dst: str) -> tuple[str, ...]:
+        """The selected AS-level path, inclusive: ``(src, ..., dst)``."""
+        if src == dst:
+            return (src,)
+        return (src,) + self._route(src, dst).as_path
+
+    def edge_sequence(self, src: str, dst: str) -> list[int]:
+        """Edge indices traversed from ``src`` to ``dst``, in hop order."""
+        edges = []
+        here = src
+        while here != dst:
+            edges.append(self.next_edge(here, dst))
+            here = self.next_hop(here, dst)
+        return edges
+
+
+def propagate_interdomain_routes(
+    internetwork: Internetwork,
+) -> InterdomainRoutes:
+    """Run path-vector propagation to a fixed point over the internetwork.
+
+    Synchronous rounds: in each round every ISP exports, to each neighbor,
+    either an origination of its own prefix or the
+    :func:`~repro.routing.bgp.export_advertisement` of its current best
+    route; receivers drop looping paths and re-select with
+    :func:`~repro.routing.bgp.decide_best_route`. With loop-free paths
+    bounded by the ISP count, ``n_isps`` rounds suffice to converge.
+    """
+    best: dict[tuple[str, str], RouteAdvertisement] = {}
+    neighbors: list[tuple[str, str, int]] = []  # (receiver, sender, edge)
+    for index, edge in enumerate(internetwork.edges):
+        neighbors.append((edge.isp_a.name, edge.isp_b.name, index))
+        neighbors.append((edge.isp_b.name, edge.isp_a.name, index))
+    neighbors.sort()
+
+    for _ in range(max(internetwork.n_isps(), 1)):
+        received: dict[tuple[str, str], list[RouteAdvertisement]] = {}
+        # Group last round's selections by source once, instead of
+        # rescanning the whole table per neighbor entry.
+        by_source: dict[str, list[RouteAdvertisement]] = {}
+        for (src, _), route in best.items():
+            by_source.setdefault(src, []).append(route)
+        for receiver, sender, edge_index in neighbors:
+            exports = [
+                originate_advertisement(sender, sender, edge_index)
+            ]
+            exports.extend(
+                export_advertisement(sender, route, edge_index)
+                for route in by_source.get(sender, ())
+            )
+            for adv in exports:
+                if receiver in adv.as_path or adv.prefix == receiver:
+                    continue  # loop prevention / own prefix
+                received.setdefault((receiver, adv.prefix), []).append(adv)
+        new_best: dict[tuple[str, str], RouteAdvertisement] = {}
+        for key in sorted(received):
+            new_best[key] = decide_best_route(received[key])
+        if new_best == best:
+            break
+        best = new_best
+
+    return InterdomainRoutes(internetwork, best)
+
+
+@dataclass(frozen=True)
+class TransitHop:
+    """One ISP's segment of an inter-domain demand's path.
+
+    Attributes:
+        isp: the ISP carrying this segment.
+        entry_pop: PoP where the demand enters (the source PoP in the
+            origin ISP).
+        edge_index: internetwork edge the demand leaves on (None in the
+            terminal ISP, which has no segment — traffic terminates at its
+            entry PoP).
+        exit_ic: interconnection index chosen on that edge (hot potato).
+        exit_pop: PoP of the chosen interconnection on this ISP's side.
+        links: intra-ISP link indices traversed from entry to exit.
+    """
+
+    isp: str
+    entry_pop: int
+    edge_index: int
+    exit_ic: int
+    exit_pop: int
+    links: np.ndarray
+
+
+def transit_demand_hops(
+    internetwork: Internetwork,
+    routes: InterdomainRoutes,
+    src_isp: str,
+    src_pop: int,
+    dst_isp: str,
+    routings: dict[str, IntradomainRouting] | None = None,
+) -> list[TransitHop]:
+    """The per-ISP segments of one demand under default routing.
+
+    Follows the BGP next-hop table from ``src_isp`` to ``dst_isp``; in each
+    on-path ISP the demand exits at the hot-potato interconnection of the
+    next-hop edge (:func:`early_exit_for_pop`) and enters the neighbor at
+    that interconnection's far-side PoP. The terminal ISP contributes no
+    segment. ``routings`` shares Dijkstra caches across demands.
+    """
+    if src_isp == dst_isp:
+        raise RoutingError("a transit demand needs distinct endpoint ISPs")
+    routings = routings if routings is not None else {}
+    hops: list[TransitHop] = []
+    here, pop = src_isp, src_pop
+    while here != dst_isp:
+        edge_index = routes.next_edge(here, dst_isp)
+        edge = internetwork.edges[edge_index]
+        side = internetwork.edge_side(edge_index, here)
+        routing = routings.get(here)
+        if routing is None:
+            routing = IntradomainRouting(internetwork.get(here))
+            routings[here] = routing
+        exit_ic = early_exit_for_pop(edge, pop, side=side, routing=routing)
+        exit_pop = edge.exit_pops(side)[exit_ic]
+        hops.append(
+            TransitHop(
+                isp=here,
+                entry_pop=pop,
+                edge_index=edge_index,
+                exit_ic=exit_ic,
+                exit_pop=exit_pop,
+                links=routing.path_links(pop, exit_pop),
+            )
+        )
+        here = routes.next_hop(here, dst_isp)
+        pop = edge.exit_pops(edge.other_side(side))[exit_ic]
+    return hops

@@ -10,6 +10,11 @@ from repro.topology.dataset import DatasetConfig, IspDataset, build_default_data
 from repro.topology.elements import Link, PoP
 from repro.topology.generator import GeneratorConfig, TopologyGenerator
 from repro.topology.interconnect import Interconnection, IspPair, find_isp_pairs
+from repro.topology.internetwork import (
+    Internetwork,
+    InternetworkConfig,
+    build_internetwork,
+)
 from repro.topology.isp import ISPTopology
 from repro.topology.serialization import (
     config_fingerprint,
@@ -33,6 +38,9 @@ __all__ = [
     "Interconnection",
     "IspPair",
     "find_isp_pairs",
+    "InternetworkConfig",
+    "Internetwork",
+    "build_internetwork",
     "build_figure1_pair",
     "build_figure2_pair",
     "build_line_isp",

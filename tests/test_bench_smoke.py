@@ -194,6 +194,37 @@ def test_smoke_sweep_runner_path(tmp_path):
             )
 
 
+def test_bench_smoke_check_guards_recorded_speedups(tmp_path):
+    """``bench_smoke.py --check`` under tier-1: speedups must stay >= 1.0.
+
+    Runs the real benchmark script (quick preset, no baseline write) in a
+    subprocess; a vectorized kernel regressing behind its legacy loop fails
+    the build here instead of silently rotting the committed baseline.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["REPRO_BENCH_PRESET"] = "quick"
+    env["PYTHONPATH"] = str(root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(root / "benchmarks" / "bench_smoke.py"),
+         "--check"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tmp_path,  # never touches the committed BENCH_core.json
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK: every kernel at or above 1.0x" in proc.stdout
+
+
 def test_smoke_reassigning_session(fixture):
     table, defaults, caps_a, caps_b = fixture
     session = NegotiationSession(

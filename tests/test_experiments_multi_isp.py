@@ -1,0 +1,234 @@
+"""The multi_isp sweep: worker invariance, checkpoint/resume, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.internetwork import (
+    MULTI_ISP_SCENARIO,
+    run_multi_isp,
+    run_multi_isp_experiment,
+)
+from repro.experiments.runner import CheckpointStore, sweep_fingerprint
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def serial_result(config):
+    return run_multi_isp_experiment(config, n_isps=3, rounds=3)
+
+
+_PARAMS = dict(MULTI_ISP_SCENARIO.default_params)
+_PARAMS.update(n_isps=3, rounds=3)
+
+
+class TestAggregate:
+    def test_grid_shape(self, serial_result):
+        result = serial_result
+        assert result.n_rounds == 3
+        assert len(result.records) == 3 * len(result.edge_names)
+        assert len(result.mel_trajectory()) == 3
+
+    def test_trajectory_reports_relief(self, serial_result):
+        result = serial_result
+        assert result.initial_mel > 0
+        assert result.final_mel <= result.initial_mel
+        assert result.total_sessions() >= len(result.edge_names)
+
+    def test_convergence_padding(self, serial_result):
+        # The coordination converges before the round budget; the padded
+        # cells are no-ops that carry the final state.
+        result = serial_result
+        converged = result.converged_round()
+        assert converged is not None
+        tail = [r for r in result.records if not r.executed_round]
+        for record in tail:
+            assert not record.ran_session
+            assert record.n_changed == 0
+            assert record.global_mel == result.final_mel
+
+    def test_summary_claims(self, serial_result):
+        claims = dict(MULTI_ISP_SCENARIO.summarize(serial_result))
+        assert "global MEL trajectory" in claims
+        assert "->" in claims["global MEL trajectory"]
+
+
+class TestWorkerInvariance:
+    def test_parallel_matches_serial(self, config, serial_result):
+        parallel = run_multi_isp_experiment(
+            config, n_isps=3, rounds=3, workers=2
+        )
+        assert parallel == serial_result
+
+    def test_checkpoint_then_resume_bit_identical(
+        self, config, serial_result, tmp_path
+    ):
+        checkpointed = run_multi_isp_experiment(
+            config, n_isps=3, rounds=3, checkpoint_dir=tmp_path / "ck"
+        )
+        assert checkpointed == serial_result
+        resumed = run_multi_isp_experiment(
+            config, n_isps=3, rounds=3,
+            checkpoint_dir=tmp_path / "ck", resume=True,
+        )
+        assert resumed == serial_result
+
+    def test_interrupt_then_resume_bit_identical(
+        self, config, serial_result, tmp_path
+    ):
+        """Losing arbitrary shards must recompute them bit-identically."""
+        run_multi_isp_experiment(
+            config, n_isps=3, rounds=3, checkpoint_dir=tmp_path / "ck"
+        )
+        store = CheckpointStore(
+            tmp_path / "ck", "multi_isp",
+            sweep_fingerprint("multi_isp", config, _PARAMS),
+        )
+        n_units = len(serial_result.records)
+        assert store.completed(n_units) == set(range(n_units))
+        # Simulate an interrupt that lost the first and last shards.
+        store.shard_path(0).unlink()
+        store.shard_path(n_units - 1).unlink()
+        resumed = run_multi_isp_experiment(
+            config, n_isps=3, rounds=3,
+            checkpoint_dir=tmp_path / "ck", resume=True,
+        )
+        assert resumed == serial_result
+
+    def test_stale_fingerprint_refuses_resume(self, config, tmp_path):
+        run_multi_isp_experiment(
+            config, n_isps=3, rounds=3, checkpoint_dir=tmp_path / "ck"
+        )
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            run_multi_isp_experiment(
+                config, n_isps=3, rounds=2,
+                checkpoint_dir=tmp_path / "ck", resume=True,
+            )
+
+
+class TestRunMultiIsp:
+    def test_direct_runner_matches_coordinator_defaults(self, config):
+        result = run_multi_isp(config, n_isps=3, max_rounds=3)
+        assert result.isp_names
+        assert result.n_rounds() >= 1
+
+    def test_direct_and_sweep_defaults_are_the_same_scenario(
+        self, config, serial_result
+    ):
+        # Both entry points must use the registered scenario defaults
+        # (notably transit_scale), not the coordinator's bare defaults.
+        direct = run_multi_isp(config, n_isps=3, max_rounds=3)
+        assert direct.initial_mel == serial_result.initial_mel
+        grid_trajectory = serial_result.mel_trajectory()
+        for round_index, mel in enumerate(direct.mel_trajectory()):
+            assert mel == grid_trajectory[round_index]
+
+    def test_peering_probability_forwarded(self, config):
+        """Regression: density knobs must reach the internetwork build."""
+        sparse = run_multi_isp(
+            config, n_isps=5, shape="random", peering_probability=0.0,
+            max_rounds=1, include_transit=False,
+        )
+        dense = run_multi_isp(
+            config, n_isps=5, shape="random", peering_probability=1.0,
+            max_rounds=1, include_transit=False,
+        )
+        assert len(sparse.edge_names) == 4  # exactly the spanning tree
+        assert len(dense.edge_names) > len(sparse.edge_names)
+
+    def test_explicit_internetwork_rejects_shape_kwargs(self, config):
+        from repro.topology.generator import GeneratorConfig
+        from repro.topology.internetwork import (
+            InternetworkConfig,
+            build_internetwork,
+        )
+
+        net = build_internetwork(InternetworkConfig(
+            n_isps=2, shape="chain", seed=2005,
+            generator=GeneratorConfig(min_pops=6, max_pops=14),
+        ))
+        with pytest.raises(ConfigurationError, match="fixes the topology"):
+            run_multi_isp(config, internetwork=net, n_isps=3)
+        result = run_multi_isp(config, internetwork=net, max_rounds=2)
+        assert len(result.edge_names) == 1
+
+    def test_n2_sweep_matches_single_session_grid(self, config):
+        """The sweep's N=2 chain is one session then a convergence skip."""
+        result = run_multi_isp_experiment(config, n_isps=2, rounds=2)
+        assert len(result.edge_names) == 1
+        first, second = result.round_records(0)[0], result.round_records(1)[0]
+        assert first.ran_session and first.adopted
+        assert not second.ran_session
+
+
+@pytest.mark.slow
+class TestSlowConvergenceSweeps:
+    """Larger internetworks; deselected from tier-1 (run with -m slow)."""
+
+    def test_random_graph_convergence(self, config):
+        result = run_multi_isp_experiment(
+            config, n_isps=5, shape="random", rounds=8,
+        )
+        assert result.converged_round() is not None
+        assert result.final_mel <= result.initial_mel
+
+    def test_ring_randomized_order(self, config):
+        result = run_multi_isp_experiment(
+            config, n_isps=4, shape="ring", rounds=8, order="random",
+        )
+        assert result.converged_round() is not None
+
+    def test_worker_invariance_at_scale(self, config):
+        serial = run_multi_isp_experiment(
+            config, n_isps=5, shape="random", rounds=6
+        )
+        parallel = run_multi_isp_experiment(
+            config, n_isps=5, shape="random", rounds=6, workers=3
+        )
+        assert serial == parallel
+
+
+class TestCli:
+    def test_multi_isp_command(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "multi-isp", "--preset", "quick", "--isps", "3",
+            "--rounds", "2", "--transit-scale", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "peering edges" in out
+        assert "global MEL initial -> final" in out
+        assert "initial global MEL (with transit)" in out
+
+    def test_multi_isp_command_no_transit_label(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "multi-isp", "--preset", "quick", "--isps", "3",
+            "--rounds", "2", "--no-transit",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "initial global MEL (no transit)" in out
+
+    def test_sweep_multi_isp_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        args = [
+            "sweep", "multi_isp", "--preset", "quick",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "sweep: multi_isp" in first
+        assert "global MEL trajectory" in first
+        # Resumes from the shards it just wrote, bit-identically.
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert second == first

@@ -1,0 +1,283 @@
+"""MultiSessionCoordinator: N=2 differential, convergence, short-circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.multi_session as multi_session
+from repro.capacity.loads import link_loads
+from repro.capacity.provisioning import ProportionalCapacity
+from repro.core.agent import NegotiationAgent
+from repro.core.evaluators import LoadAwareEvaluator
+from repro.core.multi_session import MultiSessionCoordinator
+from repro.core.preferences import PreferenceRange
+from repro.core.session import NegotiationSession, SessionConfig
+from repro.core.strategies import ReassignEveryFraction
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.geo.cities import default_city_database
+from repro.geo.population import PopulationModel
+from repro.metrics.mel import max_excess_load
+from repro.routing.costs import build_pair_cost_table
+from repro.routing.exits import early_exit_choices
+from repro.routing.flows import build_full_flowset
+from repro.topology.generator import GeneratorConfig
+from repro.topology.internetwork import (
+    Internetwork,
+    InternetworkConfig,
+    build_internetwork,
+)
+from repro.traffic.gravity import GravityWorkload
+
+GEN = GeneratorConfig(min_pops=6, max_pops=14)
+
+
+def _net(n_isps, shape="chain", seed=2005, **kwargs):
+    return build_internetwork(
+        InternetworkConfig(
+            n_isps=n_isps, shape=shape, seed=seed, generator=GEN, **kwargs
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def chain3_result(config):
+    net = _net(3)
+    return MultiSessionCoordinator(
+        net, config=config, max_rounds=6, transit_scale=3.0
+    ).run()
+
+
+class TestValidation:
+    def test_bad_order(self, config):
+        with pytest.raises(ConfigurationError, match="order"):
+            MultiSessionCoordinator(_net(2), config=config, order="chaos")
+
+    def test_bad_rounds(self, config):
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            MultiSessionCoordinator(_net(2), config=config, max_rounds=0)
+
+    def test_bad_transit_scale(self, config):
+        with pytest.raises(ConfigurationError, match="transit_scale"):
+            MultiSessionCoordinator(
+                _net(2), config=config, transit_scale=-1.0
+            )
+
+
+class TestTwoIspDifferential:
+    """The N=2 chain must reduce to the existing pairwise session path."""
+
+    def test_bit_identical_to_single_session(self, config):
+        net = _net(2)
+        result = MultiSessionCoordinator(
+            net, config=config, max_rounds=4
+        ).run()
+
+        # Reference: the plain, pre-existing single-session path over the
+        # same pair — gravity flowset, early-exit defaults, proportional
+        # capacities, load-aware agents, reassignment every 5% of traffic.
+        pair = net.edges[0]
+        workload = GravityWorkload(
+            PopulationModel(default_city_database())
+        )
+        table = build_pair_cost_table(
+            pair, build_full_flowset(pair, workload.size_fn(pair))
+        )
+        defaults = early_exit_choices(table)
+        caps_a = ProportionalCapacity().capacities(
+            link_loads(table, defaults, "a")
+        )
+        caps_b = ProportionalCapacity().capacities(
+            link_loads(table, defaults, "b")
+        )
+        p_range = PreferenceRange(config.preference_p)
+        session = NegotiationSession(
+            NegotiationAgent(
+                "a",
+                LoadAwareEvaluator(
+                    table, "a", caps_a, defaults,
+                    base_loads=np.zeros(pair.isp_a.n_links()),
+                    range_=p_range, ratio_unit=config.ratio_unit,
+                ),
+            ),
+            NegotiationAgent(
+                "b",
+                LoadAwareEvaluator(
+                    table, "b", caps_b, defaults,
+                    base_loads=np.zeros(pair.isp_b.n_links()),
+                    range_=p_range, ratio_unit=config.ratio_unit,
+                ),
+            ),
+            sizes=table.flowset.sizes(),
+            defaults=defaults,
+            config=SessionConfig(
+                reassignment_policy=ReassignEveryFraction(
+                    config.reassign_fraction
+                )
+            ),
+        )
+        ref_choices = session.run().choices
+        ref_mels = (
+            max_excess_load(link_loads(table, ref_choices, "a"), caps_a),
+            max_excess_load(link_loads(table, ref_choices, "b"), caps_b),
+        )
+
+        # Bit-identical placements and MELs (== on floats, not allclose).
+        assert np.array_equal(result.choices[0], ref_choices)
+        first = result.rounds[0].records[0]
+        assert first.mel_per_isp == ref_mels
+        assert first.global_mel == max(ref_mels)
+
+    def test_two_isps_have_no_transit(self, config):
+        coordinator = MultiSessionCoordinator(_net(2), config=config)
+        for loads in coordinator._transit.values():
+            assert not loads.any()
+
+    def test_converges_in_two_rounds(self, config):
+        # One edge, nothing else moves: round 1 negotiates, round 2 skips.
+        result = MultiSessionCoordinator(
+            _net(2), config=config, max_rounds=5
+        ).run()
+        assert result.converged
+        assert result.n_rounds() == 2
+        second = result.rounds[1].records[0]
+        assert not second.ran_session
+
+
+class TestCoordination:
+    def test_transit_relief_trajectory(self, chain3_result):
+        result = chain3_result
+        assert result.converged
+        trajectory = result.mel_trajectory()
+        assert trajectory[-1] <= result.initial_mel
+        assert result.final_mel == trajectory[-1]
+
+    def test_round_records_cover_every_edge(self, chain3_result):
+        for round_ in chain3_result.rounds:
+            assert sorted(r.edge_index for r in round_.records) == list(
+                range(len(chain3_result.edge_names))
+            )
+            assert [r.slot for r in round_.records] == list(
+                range(len(round_.records))
+            )
+
+    def test_deterministic(self, config, chain3_result):
+        again = MultiSessionCoordinator(
+            _net(3), config=config, max_rounds=6, transit_scale=3.0
+        ).run()
+        assert again.mel_trajectory() == chain3_result.mel_trajectory()
+        for mine, theirs in zip(again.choices, chain3_result.choices):
+            assert np.array_equal(mine, theirs)
+
+    def test_randomized_order_converges(self, config):
+        result = MultiSessionCoordinator(
+            _net(3), config=config, order="random", seed=5, max_rounds=8,
+            transit_scale=3.0,
+        ).run()
+        assert result.converged
+        orders = [round_.order for round_ in result.rounds]
+        assert all(sorted(order) == [0, 1] for order in orders)
+
+    def test_scope_narrows_after_first_round(self, chain3_result):
+        first_round = chain3_result.rounds[0]
+        assert all(
+            r.scope_size > 0 and r.ran_session for r in first_round.records
+        )
+        # Convergence ends with a round of skips (empty scopes or
+        # unchanged contexts), never a full re-negotiation.
+        last_round = chain3_result.rounds[-1]
+        assert last_round.n_changed == 0
+
+    def test_no_ragged_recompilation_between_rounds(self, config, monkeypatch):
+        """Rounds must derive scopes structurally, never recompile CSR."""
+        from repro.routing.incidence import PathIncidence
+
+        net = _net(3)
+        coordinator = MultiSessionCoordinator(
+            net, config=config, max_rounds=6, transit_scale=3.0
+        )
+        # Warm every table's incidence (the load kernels do this anyway),
+        # then forbid compilation for the whole coordination run.
+        for table in coordinator._tables:
+            table.incidence("a")
+            table.incidence("b")
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "PathIncidence.from_link_table called during coordination"
+            )
+
+        monkeypatch.setattr(PathIncidence, "from_link_table", boom)
+        result = coordinator.run()
+        assert result.converged
+
+
+class TestDegenerateInternetworks:
+    def test_zero_edge_internetwork_trivially_converges(self, config):
+        members = _net(3).isps
+        net = Internetwork([members[0]], [])
+        result = MultiSessionCoordinator(net, config=config).run()
+        assert result.converged
+        assert result.rounds == []
+        assert result.initial_mel == 0.0
+        assert result.mel_trajectory() == []
+
+    def test_zero_edge_runs_no_lp_or_session(self, config, monkeypatch):
+        """A zero-pair internetwork must not drive sessions or LPs."""
+        import repro.optimal.bandwidth_lp as bandwidth_lp
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("should not be called")
+
+        monkeypatch.setattr(NegotiationSession, "run", boom)
+        monkeypatch.setattr(
+            bandwidth_lp, "solve_min_max_load_lp", boom
+        )
+        members = _net(3).isps
+        net = Internetwork(list(members[:2]), [])
+        result = MultiSessionCoordinator(net, config=config).run()
+        assert result.converged
+
+    def test_empty_scope_skips_without_session(self, config, monkeypatch):
+        """An edge whose scope is empty must short-circuit the session."""
+        net = _net(3)
+        coordinator = MultiSessionCoordinator(
+            net, config=config, max_rounds=1, transit_scale=3.0
+        )
+        monkeypatch.setattr(
+            coordinator,
+            "_scope",
+            lambda edge_index, base_a, base_b: np.empty(0, dtype=np.intp),
+        )
+
+        def boom(self):  # pragma: no cover - guard
+            raise AssertionError("session must not run on an empty scope")
+
+        monkeypatch.setattr(NegotiationSession, "run", boom)
+        result = coordinator.run()
+        assert all(not r.ran_session for r in result.records())
+        assert all(r.scope_size == 0 for r in result.records())
+
+
+class TestDisconnectedInternetwork:
+    def test_unreachable_transit_is_skipped(self, config):
+        # Two disjoint 2-chains: transit between the components is
+        # unreachable and must simply contribute nothing (no raise).
+        net_a = _net(2)
+        net_b = _net(2, name_prefix="bsp")
+        net = Internetwork(
+            list(net_a.isps) + list(net_b.isps),
+            list(net_a.edges) + list(net_b.edges),
+        )
+        assert not net.is_connected()
+        result = MultiSessionCoordinator(
+            net, config=config, max_rounds=3
+        ).run()
+        assert result.converged
+        assert result.n_rounds() >= 1

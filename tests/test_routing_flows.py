@@ -81,6 +81,28 @@ class TestSubset:
         assert sub.sizes().shape == (0,)
         assert sub.total_size() == 0.0
 
+    def test_empty_subset_is_a_valid_view(self, small_pair):
+        """Regression: subset([]) must be a complete, well-typed empty view."""
+        fs = build_full_flowset(small_pair)
+        sub = fs.subset([])
+        assert sub._flows is None  # still a lazy array-backed view
+        assert sub.srcs().dtype == np.intp and sub.srcs().shape == (0,)
+        assert sub.dsts().dtype == np.intp and sub.dsts().shape == (0,)
+        assert sub.sizes().dtype == float
+        for buffer in (sub.srcs(), sub.dsts(), sub.sizes()):
+            assert not buffer.flags.writeable
+        assert sub.flows == ()
+        assert sub.pair is fs.pair
+        # Subsetting the empty view again stays valid.
+        assert len(sub.subset([])) == 0
+
+    def test_empty_subset_skips_parent_materialization(self, small_pair):
+        """subset([]) must not force the parent's array buffers to build."""
+        fs = build_full_flowset(small_pair)
+        assert fs._srcs is None  # authored from Flow objects, still lazy
+        fs.subset([])
+        assert fs._srcs is None and fs._dsts is None and fs._sizes is None
+
     def test_subset_order_preserved(self, small_pair):
         fs = build_full_flowset(small_pair)
         sub = fs.subset([5, 2])

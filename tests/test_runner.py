@@ -280,3 +280,88 @@ class TestCheckpointedSweeps:
             resume=True,
         )
         assert direct.cases == checkpointed.cases == resumed.cases
+
+
+# ---------------------------------------------------------------------------
+# Edge cases the original runner suite missed
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerEdgeCases:
+    def test_resume_with_unregistered_scenario_name(
+        self, tiny_config, tmp_path
+    ):
+        """An unknown scenario must fail typed, even on the resume path."""
+        with pytest.raises(ConfigurationError, match="unknown sweep scenario"):
+            run_scenario(
+                "never-registered", tiny_config,
+                checkpoint_dir=tmp_path / "ck", resume=True,
+            )
+
+    def test_parallel_run_of_unregistered_spec_refuses_up_front(
+        self, tiny_config, tmp_path
+    ):
+        """Workers resolve specs by name; a shadowed spec must not run."""
+        spec = ScenarioSpec(
+            name="_test_never_registered",
+            enumerate_units=lambda config, params: [0, 1],
+            run_unit=lambda config, params, unit: unit,
+            reduce=lambda config, params, results: results,
+        )
+        with pytest.raises(ConfigurationError, match="not the registered"):
+            SweepRunner(workers=2).run(spec, tiny_config)
+        # The serial path calls the spec functions in-process and is fine.
+        assert SweepRunner().run(spec, tiny_config) == [0, 1]
+
+    def test_worker_crash_leaves_only_complete_shards(
+        self, tiny_config, tmp_path
+    ):
+        """A worker raising mid-sweep must not leave torn shards behind."""
+        tripwire = tmp_path / "explode"
+
+        def units(config, params):
+            return [0, 1, 2, 3, 4, 5]
+
+        def run_unit(config, params, unit):
+            import os.path
+            import time
+
+            if unit == 3 and os.path.exists(params["tripwire"]):
+                raise ValueError("synthetic worker failure")
+            if unit < 3:
+                # Let the early units land before the crash propagates.
+                time.sleep(0.05)
+            return unit * 10
+
+        spec = register_scenario(ScenarioSpec(
+            name="_test_crashing",
+            enumerate_units=units,
+            run_unit=run_unit,
+            reduce=lambda config, params, results: list(results),
+        ))
+        params = {"tripwire": str(tripwire)}
+        fingerprint = sweep_fingerprint("_test_crashing", tiny_config, params)
+
+        tripwire.touch()
+        with pytest.raises(ValueError, match="synthetic worker failure"):
+            SweepRunner(
+                workers=2, checkpoint_dir=tmp_path / "ck"
+            ).run(spec, tiny_config, params)
+
+        store = CheckpointStore(tmp_path / "ck", "_test_crashing", fingerprint)
+        # Only complete shards remain: every surviving shard loads to the
+        # exact unit result, and no torn temp files were left behind.
+        completed = store.completed(6)
+        assert 3 not in completed
+        for index in completed:
+            assert store.load(index) == index * 10
+        assert not list(store.dir.glob("*.tmp"))
+
+        # Re-resume computes only the missing units and is bit-identical
+        # to an uninterrupted serial run.
+        tripwire.unlink()
+        resumed = SweepRunner(
+            workers=2, checkpoint_dir=tmp_path / "ck", resume=True
+        ).run(spec, tiny_config, params)
+        uninterrupted = SweepRunner().run(spec, tiny_config, params)
+        assert resumed == uninterrupted == [0, 10, 20, 30, 40, 50]

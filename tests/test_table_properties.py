@@ -1,0 +1,255 @@
+"""Property-based equivalence of the derived-table fast paths.
+
+Hypothesis-driven composition/commutation laws for the two structural
+derivations on :class:`~repro.routing.costs.PairCostTable` (the PR 2/3
+derive-don't-recompute contract), over seeded random flow sizes and random
+index sets:
+
+* ``subset`` is bit-identical to ``engine="legacy"`` for any valid index
+  set — singleton, full-range (empty complement), reordered, empty;
+* ``without_alternative`` and ``subset`` commute:
+  ``t.without_alternative(k).subset(idx) == t.subset(idx).without_alternative(k)``;
+* ``subset`` composes: ``t.subset(i).subset(j) == t.subset(i[j])``;
+* compiled CSR incidences derived structurally along any of those routes
+  are bit-identical to compiling the result's ragged rows from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.costs import PairCostTable, build_pair_cost_table
+from repro.routing.flows import build_full_flowset
+from repro.routing.incidence import PathIncidence
+from repro.topology.builders import build_custom_isp
+from repro.topology.interconnect import Interconnection, IspPair
+
+
+def _property_table() -> PairCostTable:
+    """A 3-interconnection pair with seeded, skewed flow sizes."""
+    isp_x = build_custom_isp(
+        "xnet",
+        [
+            ("Left", 40.0, -100.0),
+            ("MidX", 40.0, -95.0),
+            ("Mid", 41.0, -93.0),
+            ("Right", 40.0, -90.0),
+        ],
+        [(0, 1, 10.0), (1, 2, 7.0), (2, 3, 10.0), (0, 2, 20.0)],
+    )
+    isp_y = build_custom_isp(
+        "ynet",
+        [
+            ("Left", 40.0, -100.0),
+            ("Mid", 41.0, -93.0),
+            ("MidY", 42.0, -94.0),
+            ("Right", 40.0, -90.0),
+        ],
+        [(0, 1, 12.0), (1, 2, 5.0), (2, 3, 9.0), (1, 3, 11.0)],
+    )
+    ics = [
+        Interconnection(index=0, city="Left", pop_a=0, pop_b=0),
+        Interconnection(index=1, city="Mid", pop_a=2, pop_b=1),
+        Interconnection(index=2, city="Right", pop_a=3, pop_b=3),
+    ]
+    pair = IspPair(isp_x, isp_y, ics)
+    rng = np.random.default_rng(20050503)
+    sizes = rng.uniform(0.25, 4.0, size=(4, 4))
+    flowset = build_full_flowset(pair, lambda s, d: float(sizes[s, d]))
+    return build_pair_cost_table(pair, flowset)
+
+
+TABLE = _property_table()
+
+
+def assert_tables_identical(got: PairCostTable, want: PairCostTable) -> None:
+    """Bit-exact equality across dense arrays, ragged rows and flowset."""
+    for name in ("up_weight", "down_weight", "up_km", "down_km", "ic_km"):
+        assert np.array_equal(getattr(got, name), getattr(want, name)), name
+    assert len(got.up_links) == len(want.up_links)
+    for got_row, want_row in zip(got.up_links, want.up_links):
+        for g, w in zip(got_row, want_row):
+            assert np.array_equal(g, w)
+    for got_row, want_row in zip(got.down_links, want.down_links):
+        for g, w in zip(got_row, want_row):
+            assert np.array_equal(g, w)
+    assert np.array_equal(got.flowset.srcs(), want.flowset.srcs())
+    assert np.array_equal(got.flowset.dsts(), want.flowset.dsts())
+    assert np.array_equal(got.flowset.sizes(), want.flowset.sizes())
+
+
+def assert_incidences_identical(
+    got: PathIncidence, want: PathIncidence
+) -> None:
+    assert got.n_flows == want.n_flows
+    assert got.n_alternatives == want.n_alternatives
+    assert got.n_links == want.n_links
+    assert np.array_equal(got.indptr, want.indptr)
+    assert np.array_equal(got.indices, want.indices)
+    assert np.array_equal(got.entry_flow, want.entry_flow)
+
+
+def _recompiled(table: PairCostTable, side: str) -> PathIncidence:
+    """The incidence a from-scratch ragged compilation would produce."""
+    link_table = table.up_links if side == "a" else table.down_links
+    n_links = (
+        table.pair.isp_a.n_links() if side == "a"
+        else table.pair.isp_b.n_links()
+    )
+    return PathIncidence.from_link_table(
+        link_table, n_links, table.n_alternatives
+    )
+
+
+def _warm_parent() -> PairCostTable:
+    TABLE.incidence("a")
+    TABLE.incidence("b")
+    return TABLE
+
+
+def _random_indices(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    n = TABLE.n_flows
+    size = int(rng.integers(0, n + 1))
+    return rng.permutation(n)[:size].astype(np.intp)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_subset_bit_identical_to_legacy(seed):
+    idx = _random_indices(seed)
+    table = _warm_parent()
+    fast = table.subset(idx)
+    legacy = table.subset(idx, engine="legacy")
+    assert_tables_identical(fast, legacy)
+    for side in "ab":
+        assert_incidences_identical(
+            fast.incidence(side), legacy.incidence(side)
+        )
+        assert_incidences_identical(
+            fast.incidence(side), _recompiled(fast, side)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    k=st.integers(0, TABLE.n_alternatives - 1),
+)
+def test_column_drop_and_subset_commute(seed, k):
+    idx = _random_indices(seed)
+    table = _warm_parent()
+    drop_first = table.without_alternative(k).subset(idx)
+    subset_first = table.subset(idx).without_alternative(k)
+    assert_tables_identical(drop_first, subset_first)
+    for side in "ab":
+        assert_incidences_identical(
+            drop_first.incidence(side), subset_first.incidence(side)
+        )
+        assert_incidences_identical(
+            drop_first.incidence(side), _recompiled(drop_first, side)
+        )
+    # And both stay bit-identical to the all-legacy derivation chain.
+    legacy = table.without_alternative(k).subset(idx, engine="legacy")
+    assert_tables_identical(drop_first, legacy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed_outer=st.integers(0, 2**31 - 1),
+    seed_inner=st.integers(0, 2**31 - 1),
+)
+def test_subset_composes(seed_outer, seed_inner):
+    outer = _random_indices(seed_outer)
+    rng = np.random.default_rng(seed_inner)
+    size = int(rng.integers(0, outer.size + 1))
+    inner = rng.permutation(outer.size)[:size].astype(np.intp)
+    table = _warm_parent()
+    chained = table.subset(outer).subset(inner)
+    direct = table.subset(outer[inner])
+    assert_tables_identical(chained, direct)
+    for side in "ab":
+        assert_incidences_identical(
+            chained.incidence(side), direct.incidence(side)
+        )
+
+
+@pytest.mark.parametrize(
+    "indices",
+    [
+        [0],  # singleton
+        list(range(16)),  # full range: the empty complement
+        list(reversed(range(16))),  # reordered full range
+        [],  # empty selection
+        [15, 3, 7],  # non-contiguous, unordered
+    ],
+)
+def test_named_index_cases(indices):
+    idx = np.asarray(indices, dtype=np.intp)
+    table = _warm_parent()
+    fast = table.subset(idx)
+    legacy = table.subset(idx, engine="legacy")
+    assert_tables_identical(fast, legacy)
+    for side in "ab":
+        assert_incidences_identical(
+            fast.incidence(side), legacy.incidence(side)
+        )
+    for k in range(table.n_alternatives):
+        assert_tables_identical(
+            table.without_alternative(k).subset(idx),
+            table.subset(idx).without_alternative(k),
+        )
+
+
+def test_fixture_shape():
+    assert TABLE.n_flows == 16
+    assert TABLE.n_alternatives == 3
+
+
+class TestEmptySubsetShortCircuit:
+    """Regression: an empty scope never compiles incidence (PR 3 rule)."""
+
+    def test_cold_parent_empty_subset_never_compiles(self, monkeypatch):
+        table = _property_table()  # cold: no incidence compiled yet
+        reference = {
+            side: _recompiled(table.subset(np.empty(0, dtype=np.intp),
+                                           engine="legacy"), side)
+            for side in "ab"
+        }
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("empty subset must not compile incidence")
+
+        monkeypatch.setattr(PathIncidence, "from_link_table", boom)
+        empty = table.subset(np.empty(0, dtype=np.intp))
+        assert empty.n_flows == 0
+        assert len(empty.flowset) == 0
+        for side in "ab":
+            incidence = empty.incidence(side)  # pre-attached, no compile
+            assert_incidences_identical(incidence, reference[side])
+            assert incidence.indices.size == 0
+
+    def test_warm_parent_empty_subset_never_compiles(self, monkeypatch):
+        table = _warm_parent()
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("empty subset must not compile incidence")
+
+        monkeypatch.setattr(PathIncidence, "from_link_table", boom)
+        empty = table.subset(np.empty(0, dtype=np.intp))
+        for side in "ab":
+            assert empty.incidence(side).n_flows == 0
+
+    def test_empty_subset_supports_loads_and_column_drops(self):
+        from repro.capacity.loads import link_loads
+
+        empty = TABLE.subset(np.empty(0, dtype=np.intp))
+        loads = link_loads(empty, np.empty(0, dtype=np.intp), "a")
+        assert loads.shape == (TABLE.pair.isp_a.n_links(),)
+        assert not loads.any()
+        dropped = empty.without_alternative(0)
+        assert dropped.n_flows == 0
+        assert dropped.n_alternatives == TABLE.n_alternatives - 1
