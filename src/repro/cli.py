@@ -7,6 +7,8 @@
     python -m repro dataset --preset bench --out dataset.json
     python -m repro figure1
     python -m repro multi-isp --isps 4 --shape chain --transit-scale 3
+    python -m repro availability --preset quick --link-prob 0.05 \\
+        --srg 0,2 --quantiles 0.95,0.999
     python -m repro sweep oscillation --preset quick
     python -m repro sweep multi_isp --preset quick --workers 2 \\
         --checkpoint-dir ckpt/ --resume
@@ -55,7 +57,8 @@ _PRESETS = {
 #: Scenarios the ``sweep`` subcommand exposes (config-driven sweeps only;
 #: "grouped" needs a caller-supplied pair, so it stays API-only).
 _SWEEP_SCENARIOS = (
-    "distance", "bandwidth", "oscillation", "destination", "multi_isp",
+    "availability", "distance", "bandwidth", "oscillation", "destination",
+    "multi_isp",
 )
 
 
@@ -101,6 +104,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="include the Figure 9 diverse-objective variant")
     p_bw.add_argument("--cheating", action="store_true",
                       help="include the Figure 11 cheating variant")
+
+    p_av = sub.add_parser(
+        "availability",
+        help="probability-weighted MELs under correlated failures "
+             "(TeaVAR-style scenario enumeration)",
+    )
+    add_preset(p_av)
+    add_runner(p_av)
+    p_av.add_argument("--link-prob", type=float, default=0.01,
+                      metavar="P",
+                      help="per-interconnection failure probability, in "
+                           "(0, 0.5) (default: 0.01)")
+    p_av.add_argument("--cutoff", type=float, default=1e-6,
+                      help="skip scenarios below this probability "
+                           "(default: 1e-6)")
+    p_av.add_argument("--max-failed", type=int, default=None, metavar="N",
+                      help="cap on simultaneously failed risk units "
+                           "(default: no cap beyond the cutoff)")
+    p_av.add_argument("--srg", action="append", default=None,
+                      metavar="I,J[,K...]",
+                      help="shared-risk group of interconnection columns "
+                           "that fail together; repeatable")
+    p_av.add_argument("--quantiles", default="0.95,0.99",
+                      help="comma-separated VaR/CVaR quantiles "
+                           "(default: 0.95,0.99)")
+    p_av.add_argument("--threshold", type=float, default=1.0,
+                      help="survivability MEL threshold (default: 1.0)")
+    p_av.add_argument("--max-retries", type=int, default=None,
+                      help="retries per failing sweep unit "
+                           "(default: runner default)")
 
     p_ds = sub.add_parser("dataset", help="build and export the ISP dataset")
     add_preset(p_ds)
@@ -227,6 +260,45 @@ def _run_bandwidth(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_availability(args: argparse.Namespace, out) -> int:
+    from repro.experiments.availability import (
+        _availability_summary,
+        run_availability_experiment,
+    )
+
+    config = _config(args)
+    quantiles = tuple(float(q) for q in args.quantiles.split(",") if q)
+    srgs = tuple(
+        tuple(int(col) for col in group.split(","))
+        for group in (args.srg or ())
+    )
+    result = run_availability_experiment(
+        config,
+        link_probability=args.link_prob,
+        shared_risk_groups=srgs,
+        cutoff=args.cutoff,
+        max_failed=args.max_failed,
+        quantiles=quantiles,
+        survivability_threshold=args.threshold,
+        max_retries=args.max_retries,
+        **_runner_kwargs(args),
+    )
+    print(format_series_table(
+        "expected upstream MEL under correlated failures (CDF over pairs)",
+        [result.cdf_expected("default", "a"),
+         result.cdf_expected("negotiated", "a")],
+    ), file=out)
+    if quantiles:
+        print(format_series_table(
+            f"upstream CVaR@{quantiles[-1]} (CDF over pairs)",
+            [result.cdf_cvar(quantiles[-1], "default", "a"),
+             result.cdf_cvar(quantiles[-1], "negotiated", "a")],
+        ), file=out)
+    print(format_claims("availability", _availability_summary(result)),
+          file=out)
+    return 0
+
+
 def _run_dataset(args: argparse.Namespace, out) -> int:
     from repro.topology.dataset import build_default_dataset
     from repro.topology.serialization import save_dataset_json
@@ -315,6 +387,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _run_distance(args, out)
     if args.command == "bandwidth":
         return _run_bandwidth(args, out)
+    if args.command == "availability":
+        return _run_availability(args, out)
     if args.command == "dataset":
         return _run_dataset(args, out)
     if args.command == "figure1":

@@ -20,6 +20,7 @@ __all__ = [
     "NegotiationError",
     "OptimizationError",
     "SerializationError",
+    "SweepUnitError",
 ]
 
 
@@ -65,3 +66,29 @@ class OptimizationError(ReproError):
 
 class SerializationError(ReproError):
     """Topology or message (de)serialization failed."""
+
+
+class SweepUnitError(ReproError):
+    """Sweep units kept failing after their retry budget was exhausted.
+
+    Raised by :class:`~repro.experiments.runner.SweepRunner` *after* every
+    other unit has completed (and, with checkpointing, been persisted), so
+    a rerun with ``resume=True`` recomputes only the failed units.
+
+    Attributes:
+        scenario: the sweep scenario's name.
+        failures: ``(unit_index, unit_payload, exception)`` triples, in
+            unit order.
+    """
+
+    def __init__(self, scenario: str, failures):
+        self.scenario = scenario
+        self.failures = tuple(failures)
+        details = "; ".join(
+            f"unit {index} ({payload!r}): {exc.__class__.__name__}: {exc}"
+            for index, payload, exc in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} unit(s) of sweep {scenario!r} failed "
+            f"after retries: {details}"
+        )

@@ -1,5 +1,13 @@
 """Experiment harness: one runner per figure of the paper's evaluation."""
 
+from repro.experiments.availability import (
+    AvailabilityExperimentResult,
+    AvailabilityMetrics,
+    PairAvailabilityResult,
+    ScenarioOutcome,
+    run_availability_experiment,
+    run_pair_availability,
+)
 from repro.experiments.bandwidth import (
     BandwidthCaseResult,
     BandwidthExperimentResult,
@@ -54,6 +62,12 @@ __all__ = [
     "BandwidthExperimentResult",
     "run_bandwidth_case",
     "run_bandwidth_experiment",
+    "ScenarioOutcome",
+    "AvailabilityMetrics",
+    "PairAvailabilityResult",
+    "AvailabilityExperimentResult",
+    "run_pair_availability",
+    "run_availability_experiment",
     "format_cdf_block",
     "format_claims",
     "run_grouped_ablation",

@@ -40,13 +40,15 @@ subcommand and pickled worker payloads can resolve them lazily.
 from __future__ import annotations
 
 import json
+import logging
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepUnitError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     fork_context,
@@ -54,6 +56,8 @@ from repro.experiments.parallel import (
     warm_dataset,
 )
 from repro.topology.serialization import stable_fingerprint
+
+_log = logging.getLogger(__name__)
 
 __all__ = [
     "ScenarioSpec",
@@ -115,6 +119,7 @@ _SCENARIOS: dict[str, ScenarioSpec] = {}
 _SCENARIO_MODULES = (
     "repro.experiments.distance",
     "repro.experiments.bandwidth",
+    "repro.experiments.availability",
     "repro.experiments.oscillation",
     "repro.experiments.extensions",
     "repro.experiments.internetwork",
@@ -172,6 +177,11 @@ def sweep_fingerprint(
 # ---------------------------------------------------------------------------
 # Checkpoint store
 # ---------------------------------------------------------------------------
+
+
+#: Sentinel returned by :meth:`CheckpointStore.try_load` for a shard that
+#: exists on disk but cannot be unpickled (truncated, zero-size, garbage).
+CORRUPT_SHARD = object()
 
 
 class CheckpointStore:
@@ -249,6 +259,29 @@ class CheckpointStore:
         with self.shard_path(index).open("rb") as fh:
             return pickle.load(fh)
 
+    def try_load(self, index: int) -> Any:
+        """Load a shard, or :data:`CORRUPT_SHARD` if it cannot be read.
+
+        A shard that exists but is unreadable — zero bytes, truncated
+        mid-pickle, or otherwise failing to unpickle — is *not* a fatal
+        condition: an interrupt or disk hiccup may have left it behind.
+        The shard is logged, deleted and reported corrupt so the runner
+        re-runs just that unit; by the determinism contract the rerun is
+        bit-identical to what the shard would have held.
+        """
+        path = self.shard_path(index)
+        try:
+            if path.stat().st_size == 0:
+                raise EOFError("zero-size shard")
+            return self.load(index)
+        except Exception as exc:  # any unreadable/corrupt shard
+            _log.warning(
+                "corrupt checkpoint shard %s (%s: %s); re-running unit %d",
+                path, exc.__class__.__name__, exc, index,
+            )
+            path.unlink(missing_ok=True)
+            return CORRUPT_SHARD
+
     def save(self, index: int, result: Any) -> None:
         path = self.shard_path(index)
         tmp = path.with_suffix(".tmp")
@@ -283,15 +316,40 @@ class SweepRunner:
         checkpoint_dir: root directory for per-unit result shards
             (None = no checkpointing).
         resume: with ``checkpoint_dir``, load completed shards and run
-            only the missing units. Requires a fingerprint match.
+            only the missing units. Requires a fingerprint match. A shard
+            that turns out truncated or corrupt is logged, dropped and
+            re-run instead of crashing the resume.
         warm_start: prime the parent's dataset cache before a parallel
             run so fork workers inherit the built dataset.
+        max_retries: how many times a failing unit is retried (on any
+            ``Exception``; interrupts always propagate) with bounded
+            deterministic backoff before being recorded as failed. A unit
+            that exhausts its budget does *not* kill the sweep: every
+            other unit still completes (and checkpoints), then a
+            :class:`~repro.errors.SweepUnitError` surfaces the exceptions
+            with their unit payloads attached.
+        retry_backoff_s: base backoff; attempt ``k`` sleeps
+            ``retry_backoff_s * 2**(k-1)``, capped at 1 s — deterministic,
+            no jitter, so reruns behave identically.
     """
 
     workers: int | None = None
     checkpoint_dir: str | Path | None = None
     resume: bool = False
     warm_start: bool = True
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(self.retry_backoff_s * 2 ** (attempt - 1), 1.0)
+        if delay > 0:
+            time.sleep(delay)
 
     def run(
         self,
@@ -323,24 +381,56 @@ class SweepRunner:
                 sweep_fingerprint(spec.name, config, merged),
             )
             done = store.prepare(len(units), self.resume)
-            for index in done:
-                results[index] = store.load(index)
+            for index in sorted(done):
+                loaded = store.try_load(index)
+                if loaded is CORRUPT_SHARD:
+                    done.discard(index)
+                else:
+                    results[index] = loaded
             todo = [i for i in range(len(units)) if i not in done]
 
+        failures: list[tuple[int, Any, Exception]] = []
         if todo:
             for index, result in self._execute(
-                spec, config, merged, units, todo, n_workers
+                spec, config, merged, units, todo, n_workers, failures
             ):
                 results[index] = result
                 if store is not None:
                     store.save(index, result)
+        if failures:
+            # Every completed unit above is already reduced into `results`
+            # and, with checkpointing, persisted — a resume re-runs only
+            # the failed units.
+            raise SweepUnitError(
+                spec.name, sorted(failures, key=lambda f: f[0])
+            )
         return spec.reduce(config, merged, results)
 
-    def _execute(self, spec, config, params, units, todo, n_workers):
-        """Yield ``(unit_index, result)`` in unit order, serial or pooled."""
+    def _execute(self, spec, config, params, units, todo, n_workers, failures):
+        """Yield ``(unit_index, result)`` in unit order, serial or pooled.
+
+        A unit whose execution raises is retried ``max_retries`` times
+        with deterministic backoff; one that keeps failing is appended to
+        ``failures`` as ``(index, unit_payload, exception)`` and skipped,
+        leaving the remaining units to complete.
+        """
         if n_workers <= 1 or len(todo) <= 1:
             for index in todo:
-                yield index, spec.run_unit(config, params, units[index])
+                for attempt in range(self.max_retries + 1):
+                    try:
+                        result = spec.run_unit(config, params, units[index])
+                    except Exception as exc:
+                        if attempt >= self.max_retries:
+                            _log.warning(
+                                "sweep %s unit %d failed after %d attempt(s)",
+                                spec.name, index, attempt + 1,
+                            )
+                            failures.append((index, units[index], exc))
+                            break
+                        self._backoff(attempt + 1)
+                    else:
+                        yield index, result
+                        break
             return
         _ensure_registered()
         if _SCENARIOS.get(spec.name) is not spec:
@@ -358,16 +448,45 @@ class SweepRunner:
             # every worker inherits it copy-on-write instead of rebuilding.
             warm_dataset(config)
         params_items = tuple(params.items())
-        payloads = [
-            (spec.name, config, params_items, units[index]) for index in todo
-        ]
+        payloads = {
+            index: (spec.name, config, params_items, units[index])
+            for index in todo
+        }
         with ProcessPoolExecutor(
             max_workers=min(n_workers, len(todo)), mp_context=mp_context
         ) as pool:
-            # pool.map streams results back in submission order, so shards
+            # One future per unit, consumed in submission order, so shards
             # land on disk as units finish — an interrupt loses only the
             # in-flight units, and resume picks up from the completed set.
-            yield from zip(todo, pool.map(_sweep_unit_worker, payloads))
+            # A failed future is resubmitted (the retry runs in a pool
+            # worker; only the backoff sleeps here in the parent).
+            futures = {
+                index: pool.submit(_sweep_unit_worker, payloads[index])
+                for index in todo
+            }
+            for index in todo:
+                attempt = 0
+                while True:
+                    try:
+                        result = futures[index].result()
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        attempt += 1
+                        if attempt > self.max_retries:
+                            _log.warning(
+                                "sweep %s unit %d failed after %d "
+                                "attempt(s)", spec.name, index, attempt,
+                            )
+                            failures.append((index, units[index], exc))
+                            break
+                        self._backoff(attempt)
+                        futures[index] = pool.submit(
+                            _sweep_unit_worker, payloads[index]
+                        )
+                    else:
+                        yield index, result
+                        break
 
 
 def run_scenario(
@@ -377,8 +496,10 @@ def run_scenario(
     workers: int | None = None,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    max_retries: int = 2,
 ) -> Any:
     """Convenience wrapper: resolve a scenario by name and run it."""
     return SweepRunner(
-        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume,
+        max_retries=max_retries,
     ).run(name, config, params)

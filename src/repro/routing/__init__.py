@@ -22,6 +22,14 @@ from repro.routing.interdomain import (
     transit_demand_hops,
 )
 from repro.routing.paths import IntradomainRouting
+from repro.routing.scenarios import (
+    FailureModel,
+    FailureScenario,
+    FailureScenarioSet,
+    affected_flow_indices,
+    derive_scenario_tables,
+    enumerate_failure_scenarios,
+)
 
 __all__ = [
     "IntradomainRouting",
@@ -43,4 +51,10 @@ __all__ = [
     "TransitHop",
     "propagate_interdomain_routes",
     "transit_demand_hops",
+    "FailureModel",
+    "FailureScenario",
+    "FailureScenarioSet",
+    "enumerate_failure_scenarios",
+    "affected_flow_indices",
+    "derive_scenario_tables",
 ]

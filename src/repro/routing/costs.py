@@ -54,6 +54,37 @@ from repro.topology.interconnect import IspPair
 __all__ = ["PairCostTable", "build_pair_cost_table"]
 
 
+def _validate_index_set(indices, n: int, what: str) -> np.ndarray:
+    """Unique, in-range, 1-D intp indices for a structural derivation.
+
+    One validation contract for both derivation axes —
+    :meth:`PairCostTable.subset` (flow rows) and
+    :meth:`PairCostTable.without_alternative` /
+    :meth:`PairCostTable.without_alternatives` (interconnection columns):
+    non-1-D shapes, out-of-range or negative values, and duplicates raise
+    :class:`RoutingError` naming the offending indices.
+    """
+    idx = np.asarray(indices, dtype=np.intp)
+    if idx.ndim != 1:
+        raise RoutingError(
+            f"{what} indices must be 1-D, got shape {idx.shape}"
+        )
+    if idx.size:
+        bad = idx[(idx < 0) | (idx >= n)]
+        if bad.size:
+            raise RoutingError(
+                f"{what} indices must be in 0..{n - 1}, got out-of-range "
+                f"values {sorted(set(bad.tolist()))}"
+            )
+        uniq, counts = np.unique(idx, return_counts=True)
+        dups = uniq[counts > 1]
+        if dups.size:
+            raise RoutingError(
+                f"{what} indices contain duplicates: {dups.tolist()}"
+            )
+    return idx
+
+
 @dataclass(frozen=True)
 class PairCostTable:
     """Precomputed alternative costs for one (pair, direction).
@@ -127,7 +158,10 @@ class PairCostTable:
         being recompiled from the ragged rows, so the load/LP machinery of
         a failure case starts warm.
         """
-        k = int(failed_index)
+        idx = _validate_index_set(
+            [failed_index], self.n_alternatives, "alternative drop"
+        )
+        k = int(idx[0])
         failed_pair = self.pair.without_interconnection(k)
         derived = PairCostTable(
             pair=failed_pair,
@@ -148,6 +182,123 @@ class PairCostTable:
                 )
         derived.validate()
         return derived
+
+    def without_alternatives(
+        self,
+        failed_indices,
+        engine: str = "structural",
+    ) -> "PairCostTable":
+        """The post-failure table with a *set* of columns dropped at once.
+
+        The correlated-multi-failure generalization of
+        :meth:`without_alternative`: a scenario that fails several
+        interconnections simultaneously derives its table in one
+        structural pass — dense arrays column-gathered on the surviving
+        set, ragged link rows re-tupled from the parent's (still aliased)
+        per-cell arrays, pair/flowset re-bound through
+        :meth:`IspPair.without_interconnections`, and any compiled CSR
+        incidence re-derived via
+        :meth:`PathIncidence.without_alternatives`. No shortest path is
+        recomputed.
+
+        ``engine="structural"`` (default) is the single pass;
+        ``engine="legacy"`` folds single :meth:`without_alternative` drops
+        (descending, so indices never shift). Both are bit-identical to
+        each other, to any composition order of single drops, and to
+        rebuilding the table from scratch over the reduced pair.
+
+        The drop set must be unique and in range (validated by the same
+        contract as :meth:`subset`), and must leave at least one
+        interconnection standing — a scenario that severs *every*
+        alternative has no representable table and is the caller's
+        graceful-degradation case (see
+        :mod:`repro.routing.scenarios`).
+        """
+        if engine not in _DROP_ENGINES:
+            raise RoutingError(
+                f"engine must be one of {_DROP_ENGINES}, got {engine!r}"
+            )
+        idx = _validate_index_set(
+            failed_indices, self.n_alternatives, "alternative drop"
+        )
+        if idx.size >= self.n_alternatives:
+            raise RoutingError(
+                "cannot drop every alternative column "
+                f"(got all {self.n_alternatives} indices)"
+            )
+        if engine == "legacy":
+            table = self
+            for k in sorted(idx.tolist(), reverse=True):
+                table = table.without_alternative(k)
+            return table
+        return self._without_alternatives_structural(idx)
+
+    def _without_alternatives_structural(
+        self, idx: np.ndarray
+    ) -> "PairCostTable":
+        """Internal single-pass drop for already-validated indices."""
+        keep = np.setdiff1d(
+            np.arange(self.n_alternatives, dtype=np.intp), idx,
+            assume_unique=True,
+        )
+        keep_list = keep.tolist()
+        failed_pair = self.pair.without_interconnections(idx.tolist())
+        derived = PairCostTable(
+            pair=failed_pair,
+            flowset=self.flowset.with_pair(failed_pair),
+            up_weight=self.up_weight[:, keep],
+            down_weight=self.down_weight[:, keep],
+            up_km=self.up_km[:, keep],
+            down_km=self.down_km[:, keep],
+            ic_km=self.ic_km[keep],
+            up_links=tuple(
+                tuple(row[j] for j in keep_list) for row in self.up_links
+            ),
+            down_links=tuple(
+                tuple(row[j] for j in keep_list) for row in self.down_links
+            ),
+        )
+        for attr in ("_incidence_a", "_incidence_b"):
+            cached = self.__dict__.get(attr)
+            if cached is not None:
+                object.__setattr__(
+                    derived, attr, cached.without_alternatives(idx)
+                )
+        derived.validate()
+        return derived
+
+    def batch_without_alternatives(
+        self, drop_sets
+    ) -> list["PairCostTable"]:
+        """Derive one table per scenario drop set, sharing this table's state.
+
+        The batch form of :meth:`without_alternatives` for probabilistic
+        failure-scenario sweeps (thousands of scenarios per pair): every
+        scenario's table is derived from *this* parent in one structural
+        pass each — the dense buffers are column-gathered views of the
+        parent's arrays, the ragged rows alias the parent's per-cell link
+        arrays, and compiled incidences re-derive from the parent's CSR —
+        so the whole scenario set shares the parent's memory and pays zero
+        routing work. Validation runs once per drop set against this
+        table's column count; each result is bit-identical to the
+        equivalent :meth:`without_alternatives` call (and hence to the
+        legacy per-scenario rebuild).
+
+        Drop sets that sever every column are rejected here the same way
+        :meth:`without_alternatives` rejects them — filter those scenarios
+        out first (they have no representable table).
+        """
+        validated = [
+            _validate_index_set(ks, self.n_alternatives, "alternative drop")
+            for ks in drop_sets
+        ]
+        for idx in validated:
+            if idx.size >= self.n_alternatives:
+                raise RoutingError(
+                    "cannot drop every alternative column "
+                    f"(got all {self.n_alternatives} indices)"
+                )
+        return [self._without_alternatives_structural(idx) for idx in validated]
 
     def subset(
         self, indices: np.ndarray, engine: str = "incidence"
@@ -175,20 +326,7 @@ class PairCostTable:
             raise RoutingError(
                 f"engine must be one of {_SUBSET_ENGINES}, got {engine!r}"
             )
-        idx = np.asarray(indices, dtype=np.intp)
-        if idx.ndim != 1:
-            raise RoutingError(
-                f"subset flow indices must be 1-D, got shape {idx.shape}"
-            )
-        if idx.size:
-            lo, hi = int(idx.min()), int(idx.max())
-            if lo < 0 or hi >= self.n_flows:
-                raise RoutingError(
-                    f"subset flow indices must be in 0..{self.n_flows - 1}, "
-                    f"got values spanning [{lo}, {hi}]"
-                )
-            if np.unique(idx).size != idx.size:
-                raise RoutingError("subset flow indices contain duplicates")
+        idx = _validate_index_set(indices, self.n_flows, "subset flow")
         if engine == "legacy":
             sub_flowset = FlowSet(
                 self.pair,
@@ -255,6 +393,7 @@ class PairCostTable:
 
 _BUILD_ENGINES = ("batched", "legacy")
 _SUBSET_ENGINES = ("incidence", "legacy")
+_DROP_ENGINES = ("structural", "legacy")
 
 
 def build_pair_cost_table(

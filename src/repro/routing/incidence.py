@@ -34,6 +34,7 @@ tests assert ``==``, not ``allclose``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -206,6 +207,64 @@ class PathIncidence:
             indices=self.indices[positions],
             entry_flow=np.repeat(
                 np.arange(self.n_flows, dtype=np.intp), keep_counts.sum(axis=1)
+            ),
+        )
+        derived.validate()
+        return derived
+
+    def without_alternatives(
+        self, alternatives: Sequence[int] | np.ndarray
+    ) -> "PathIncidence":
+        """The incidence with a set of alternative columns removed.
+
+        The multi-failure generalization of :meth:`without_alternative`,
+        still one structural pass: every flow keeps the contiguous entry
+        ranges of its surviving rows (one multirange gather over
+        ``len(keep)`` ranges per flow, in row-major storage order), with no
+        ragged-table recompilation. Bit-identical both to composing single
+        :meth:`without_alternative` drops in any order and to compiling
+        the reduced ragged tables from scratch.
+
+        ``alternatives`` must be unique, in range, and leave at least one
+        column standing.
+        """
+        n_alt = self.n_alternatives
+        raw = np.asarray(alternatives, dtype=np.intp).ravel()
+        drop = np.unique(raw)
+        if drop.size != raw.size:
+            raise RoutingError("duplicate alternative indices in drop set")
+        if drop.size and (drop[0] < 0 or drop[-1] >= n_alt):
+            raise RoutingError(
+                f"alternative drop indices must be in 0..{n_alt - 1}, "
+                f"got {drop.tolist()}"
+            )
+        if drop.size >= n_alt:
+            raise RoutingError("cannot drop every alternative column")
+        keep = np.setdiff1d(
+            np.arange(n_alt, dtype=np.intp), drop, assume_unique=True
+        )
+        rows = (
+            np.arange(self.n_flows, dtype=np.intp)[:, None] * n_alt
+            + keep[None, :]
+        ).ravel()
+        positions, counts = multirange_gather(
+            self.indptr[rows], self.indptr[rows + 1]
+        )
+        new_indptr = np.zeros(rows.size + 1, dtype=np.intp)
+        np.cumsum(counts, out=new_indptr[1:])
+        per_flow = (
+            counts.reshape(self.n_flows, keep.size).sum(axis=1)
+            if self.n_flows
+            else np.empty(0, dtype=np.intp)
+        )
+        derived = PathIncidence(
+            n_flows=self.n_flows,
+            n_alternatives=int(keep.size),
+            n_links=self.n_links,
+            indptr=new_indptr,
+            indices=self.indices[positions],
+            entry_flow=np.repeat(
+                np.arange(self.n_flows, dtype=np.intp), per_flow
             ),
         )
         derived.validate()

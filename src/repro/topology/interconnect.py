@@ -132,7 +132,33 @@ class IspPair:
             raise TopologyError(f"no interconnection with index {failed_index}")
         if len(self._ics) < 2:
             raise TopologyError("cannot fail the only interconnection")
-        remaining = [ic for ic in self._ics if ic.index != failed_index]
+        return self.without_interconnections((failed_index,))
+
+    def without_interconnections(
+        self, failed_indices: Sequence[int]
+    ) -> "IspPair":
+        """A copy of the pair with a set of interconnections removed.
+
+        The multi-failure generalization of
+        :meth:`without_interconnection`: survivors keep their relative
+        order and are reindexed densely, which is exactly what composing
+        single removals produces regardless of composition order. At least
+        one interconnection must survive (a pair cannot exist without
+        any), and the failed indices must be unique and in range.
+        """
+        failed = {int(k) for k in failed_indices}
+        if len(failed) != len(tuple(failed_indices)):
+            raise TopologyError(
+                f"duplicate interconnection indices in "
+                f"{sorted(int(k) for k in failed_indices)}"
+            )
+        bad = sorted(k for k in failed if not 0 <= k < len(self._ics))
+        if bad:
+            raise TopologyError(f"no interconnections with indices {bad}")
+        if len(failed) >= len(self._ics):
+            raise TopologyError(
+                "cannot fail every interconnection of a pair"
+            )
         reindexed = [
             Interconnection(
                 index=i,
@@ -141,7 +167,9 @@ class IspPair:
                 pop_b=ic.pop_b,
                 length_km=ic.length_km,
             )
-            for i, ic in enumerate(remaining)
+            for i, ic in enumerate(
+                ic for ic in self._ics if ic.index not in failed
+            )
         ]
         return IspPair(self._isp_a, self._isp_b, reindexed)
 

@@ -316,7 +316,14 @@ class TestRunnerEdgeCases:
     def test_worker_crash_leaves_only_complete_shards(
         self, tiny_config, tmp_path
     ):
-        """A worker raising mid-sweep must not leave torn shards behind."""
+        """A failing worker must not kill the sweep or leave torn shards.
+
+        PR 6 contract: the failing unit is retried, then surfaced as a
+        :class:`~repro.errors.SweepUnitError` with its payload attached —
+        after every other unit completed and checkpointed.
+        """
+        from repro.errors import SweepUnitError
+
         tripwire = tmp_path / "explode"
 
         def units(config, params):
@@ -343,16 +350,18 @@ class TestRunnerEdgeCases:
         fingerprint = sweep_fingerprint("_test_crashing", tiny_config, params)
 
         tripwire.touch()
-        with pytest.raises(ValueError, match="synthetic worker failure"):
+        with pytest.raises(SweepUnitError, match="synthetic worker failure"):
             SweepRunner(
-                workers=2, checkpoint_dir=tmp_path / "ck"
+                workers=2, checkpoint_dir=tmp_path / "ck",
+                retry_backoff_s=0.0,
             ).run(spec, tiny_config, params)
 
         store = CheckpointStore(tmp_path / "ck", "_test_crashing", fingerprint)
-        # Only complete shards remain: every surviving shard loads to the
-        # exact unit result, and no torn temp files were left behind.
+        # Every unit except the failing one completed and was persisted:
+        # each surviving shard loads to the exact unit result, and no torn
+        # temp files were left behind.
         completed = store.completed(6)
-        assert 3 not in completed
+        assert completed == {0, 1, 2, 4, 5}
         for index in completed:
             assert store.load(index) == index * 10
         assert not list(store.dir.glob("*.tmp"))

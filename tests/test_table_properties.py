@@ -253,3 +253,135 @@ class TestEmptySubsetShortCircuit:
         dropped = empty.without_alternative(0)
         assert dropped.n_flows == 0
         assert dropped.n_alternatives == TABLE.n_alternatives - 1
+
+
+# ---------------------------------------------------------------------------
+# Multi-column drops (PR 6): without_alternatives / batch_without_alternatives
+# ---------------------------------------------------------------------------
+
+
+def _random_drop_set(seed: int) -> np.ndarray:
+    """A random drop set of size 0 .. n_alternatives-1 (>= 1 survivor)."""
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(0, TABLE.n_alternatives))
+    return np.sort(
+        rng.permutation(TABLE.n_alternatives)[:size].astype(np.intp)
+    )
+
+
+def _compose_single_drops(
+    table: PairCostTable, ks: np.ndarray, order: np.ndarray
+) -> PairCostTable:
+    """Fold per-column drops in ``order``, reindexing after each drop."""
+    remaining = list(range(table.n_alternatives))
+    result = table
+    for k in ks[order]:
+        position = remaining.index(int(k))
+        result = result.without_alternative(position)
+        remaining.pop(position)
+    return result
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), order_seed=st.integers(0, 2**31 - 1))
+def test_multi_drop_equals_any_composition_order(seed, order_seed):
+    ks = _random_drop_set(seed)
+    order = np.random.default_rng(order_seed).permutation(ks.size)
+    table = _warm_parent()
+    multi = table.without_alternatives(ks)
+    composed = _compose_single_drops(table, ks, order)
+    assert_tables_identical(multi, composed)
+    legacy = table.without_alternatives(ks, engine="legacy")
+    assert_tables_identical(multi, legacy)
+    for side in "ab":
+        assert_incidences_identical(
+            multi.incidence(side), composed.incidence(side)
+        )
+        assert_incidences_identical(
+            multi.incidence(side), _recompiled(multi, side)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), drop_seed=st.integers(0, 2**31 - 1))
+def test_multi_drop_commutes_with_subset(seed, drop_seed):
+    idx = _random_indices(seed)
+    ks = _random_drop_set(drop_seed)
+    table = _warm_parent()
+    drop_first = table.without_alternatives(ks).subset(idx)
+    subset_first = table.subset(idx).without_alternatives(ks)
+    assert_tables_identical(drop_first, subset_first)
+    for side in "ab":
+        assert_incidences_identical(
+            drop_first.incidence(side), subset_first.incidence(side)
+        )
+        assert_incidences_identical(
+            drop_first.incidence(side), _recompiled(drop_first, side)
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds=st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=6))
+def test_batch_derive_matches_individual_drops(seeds):
+    table = _warm_parent()
+    drop_sets = [_random_drop_set(s) for s in seeds]
+    batch = table.batch_without_alternatives(drop_sets)
+    assert len(batch) == len(drop_sets)
+    for derived, ks in zip(batch, drop_sets):
+        assert_tables_identical(derived, table.without_alternatives(ks))
+        assert_tables_identical(
+            derived, table.without_alternatives(ks, engine="legacy")
+        )
+        for side in "ab":
+            assert_incidences_identical(
+                derived.incidence(side), _recompiled(derived, side)
+            )
+
+
+@pytest.mark.parametrize(
+    "ks",
+    [
+        [],  # empty drop set: an equivalent copy
+        [1],  # singleton: exactly without_alternative
+        [0, 2],  # non-adjacent pair
+        [0, 1],  # all-but-one survivors
+        [1, 2],  # all-but-one, other end
+    ],
+)
+def test_named_drop_cases(ks):
+    table = _warm_parent()
+    multi = table.without_alternatives(ks)
+    assert multi.n_alternatives == table.n_alternatives - len(ks)
+    assert_tables_identical(
+        multi, table.without_alternatives(ks, engine="legacy")
+    )
+    composed = _compose_single_drops(
+        table, np.asarray(ks, dtype=np.intp), np.arange(len(ks))
+    )
+    assert_tables_identical(multi, composed)
+    if len(ks) == 1:
+        assert_tables_identical(multi, table.without_alternative(ks[0]))
+    for side in "ab":
+        assert_incidences_identical(
+            multi.incidence(side), _recompiled(multi, side)
+        )
+
+
+def test_drop_validation_unified_with_subset():
+    from repro.errors import RoutingError
+
+    table = _warm_parent()
+    with pytest.raises(RoutingError, match="duplicates"):
+        table.without_alternatives([0, 0])
+    with pytest.raises(RoutingError, match="must be in 0"):
+        table.without_alternatives([3])
+    with pytest.raises(RoutingError, match="must be in 0"):
+        table.without_alternatives([-1])
+    with pytest.raises(RoutingError, match="every alternative"):
+        table.without_alternatives([0, 1, 2])
+    with pytest.raises(RoutingError, match="must be in 0"):
+        table.without_alternative(7)
+    with pytest.raises(RoutingError, match="engine"):
+        table.without_alternatives([0], engine="nope")
+    with pytest.raises(RoutingError, match="every alternative"):
+        table.batch_without_alternatives([[0], [0, 1, 2]])
