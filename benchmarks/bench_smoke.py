@@ -239,6 +239,17 @@ def main(output: Path = DEFAULT_OUTPUT, check: bool = False) -> dict:
         evaluator = cls(table, "a", caps_a, defaults, engine=engine)
         return lambda: evaluator.reassign(remaining)
 
+    def scenario_aware_reassign(scenario_engine):
+        from repro.core.scenario_aware import ScenarioAwareEvaluator
+        from repro.routing.scenarios import FailureModel
+
+        evaluator = ScenarioAwareEvaluator(
+            table, "a", caps_a, defaults,
+            FailureModel(link_probability=0.05, cutoff=1e-6, max_failed=2),
+            scenario_engine=scenario_engine,
+        )
+        return lambda: evaluator.reassign(remaining)
+
     def session_run(engine, incremental):
         def run():
             session = NegotiationSession(
@@ -310,6 +321,11 @@ def main(output: Path = DEFAULT_OUTPUT, check: bool = False) -> dict:
             evaluator_reassign(FortzCostEvaluator, "sparse"),
             evaluator_reassign(FortzCostEvaluator, "legacy"),
             10,
+        ),
+        "scenario_aware_scoring": (
+            scenario_aware_reassign("batch"),
+            scenario_aware_reassign("legacy"),
+            3,
         ),
         "session_reassign_loadaware": (
             session_run("sparse", None),

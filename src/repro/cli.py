@@ -9,6 +9,8 @@
     python -m repro multi-isp --isps 4 --shape chain --transit-scale 3
     python -m repro availability --preset quick --link-prob 0.05 \\
         --srg 0,2 --quantiles 0.95,0.999
+    python -m repro robust --preset quick --fault-seeds 0,1,2 \\
+        --abort-rate 0.15 --tail-weight 0.5
     python -m repro sweep oscillation --preset quick
     python -m repro sweep multi_isp --preset quick --workers 2 \\
         --checkpoint-dir ckpt/ --resume
@@ -24,14 +26,19 @@ granularity with a shared-dataset warm start (``-1`` = one worker per
 CPU), and ``--checkpoint-dir DIR`` persists per-unit result shards keyed
 by a (scenario, config) fingerprint so an interrupted sweep rerun with
 ``--resume`` recomputes only the missing units (a checkpoint written under
-a different fingerprint refuses to resume). The ``sweep`` subcommand runs
-any registered scenario — ``distance``, ``bandwidth``, ``oscillation``,
-``destination``, ``multi_isp`` — and prints its summary claims.
+a different fingerprint refuses to resume). Every sweep-capable command
+also exposes ``--max-retries`` / ``--retry-backoff``, the runner's
+per-unit fault-tolerance knobs. The ``sweep`` subcommand runs any
+registered scenario — ``distance``, ``bandwidth``, ``oscillation``,
+``destination``, ``multi_isp``, ``robust_negotiation`` — and prints its
+summary claims.
 
-``multi-isp`` runs one multi-ISP coordination directly (chain / ring /
+``multi-isp`` runs the multi-ISP coordination sweep (chain / ring /
 random internetworks; chained pairwise sessions with transit background)
-and prints the per-round convergence trajectory; ``sweep multi_isp`` runs
-the same scenario through the checkpointable sweep runner.
+and prints the per-round convergence trajectory. ``robust`` compares
+nominal-only against CVaR-aware agents across seeded fault plans
+(session aborts, deadlines, link failures) and prints the
+expected/VaR/CVaR MEL deltas.
 """
 
 from __future__ import annotations
@@ -58,7 +65,7 @@ _PRESETS = {
 #: "grouped" needs a caller-supplied pair, so it stays API-only).
 _SWEEP_SCENARIOS = (
     "availability", "distance", "bandwidth", "oscillation", "destination",
-    "multi_isp",
+    "multi_isp", "robust_negotiation",
 )
 
 
@@ -86,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --checkpoint-dir: skip units whose "
                             "shards are already complete (refuses if the "
                             "directory holds a different sweep)")
+        p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                       help="retries per failing sweep unit "
+                            "(default: runner default)")
+        p.add_argument("--retry-backoff", type=float, default=None,
+                       metavar="S",
+                       help="base retry backoff in seconds, doubling per "
+                            "attempt (default: runner default)")
 
     p_dist = sub.add_parser("distance",
                             help="Section 5.1: the distance experiment")
@@ -131,9 +145,6 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: 0.95,0.99)")
     p_av.add_argument("--threshold", type=float, default=1.0,
                       help="survivability MEL threshold (default: 1.0)")
-    p_av.add_argument("--max-retries", type=int, default=None,
-                      help="retries per failing sweep unit "
-                           "(default: runner default)")
 
     p_ds = sub.add_parser("dataset", help="build and export the ISP dataset")
     add_preset(p_ds)
@@ -147,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="chained pairwise negotiation over a multi-ISP internetwork",
     )
     add_preset(p_multi)
+    add_runner(p_multi)
     p_multi.add_argument("--isps", type=int, default=4, metavar="N",
                          help="how many ISPs (default: 4)")
     p_multi.add_argument("--shape", choices=("chain", "ring", "random"),
@@ -161,6 +173,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable inter-domain transit background")
     p_multi.add_argument("--transit-scale", type=float, default=3.0,
                          help="mean per-PoP transit demand (default: 3.0)")
+
+    p_robust = sub.add_parser(
+        "robust",
+        help="robust negotiation under failure: nominal vs CVaR-aware "
+             "agents across seeded fault plans",
+    )
+    add_preset(p_robust)
+    add_runner(p_robust)
+    p_robust.add_argument("--isps", type=int, default=3, metavar="N",
+                          help="how many ISPs (default: 3)")
+    p_robust.add_argument("--shape", choices=("chain", "ring", "random"),
+                          default="chain",
+                          help="internetwork shape (default: chain)")
+    p_robust.add_argument("--rounds", type=int, default=6,
+                          help="coordination round limit (default: 6)")
+    p_robust.add_argument("--link-prob", type=float, default=0.05,
+                          metavar="P",
+                          help="per-interconnection failure probability "
+                               "the agents plan against (default: 0.05)")
+    p_robust.add_argument("--cutoff", type=float, default=1e-4,
+                          help="scenario enumeration probability cutoff "
+                               "(default: 1e-4)")
+    p_robust.add_argument("--max-failed", type=int, default=2, metavar="N",
+                          help="cap on simultaneously failed columns "
+                               "(default: 2)")
+    p_robust.add_argument("--tail-weight", type=float, default=0.5,
+                          metavar="L",
+                          help="CVaR blend weight for the cvar mode "
+                               "(default: 0.5)")
+    p_robust.add_argument("--tail-quantile", type=float, default=0.9,
+                          metavar="Q",
+                          help="CVaR quantile (default: 0.9)")
+    p_robust.add_argument("--fault-seeds", default="0,1,2",
+                          help="comma-separated fault-plan seeds "
+                               "(default: 0,1,2)")
+    p_robust.add_argument("--abort-rate", type=float, default=0.15,
+                          help="per-slot session abort probability "
+                               "(default: 0.15)")
+    p_robust.add_argument("--deadline-rate", type=float, default=0.1,
+                          help="per-slot deadline-fault probability "
+                               "(default: 0.1)")
+    p_robust.add_argument("--link-failure-rate", type=float, default=0.1,
+                          help="per-slot link-failure probability "
+                               "(default: 0.1)")
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -186,6 +242,8 @@ def _runner_kwargs(args: argparse.Namespace) -> dict:
         workers=args.workers,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
     )
 
 
@@ -280,7 +338,6 @@ def _run_availability(args: argparse.Namespace, out) -> int:
         max_failed=args.max_failed,
         quantiles=quantiles,
         survivability_threshold=args.threshold,
-        max_retries=args.max_retries,
         **_runner_kwargs(args),
     )
     print(format_series_table(
@@ -332,17 +389,18 @@ def _run_figure1(out) -> int:
 
 
 def _run_multi_isp(args: argparse.Namespace, out) -> int:
-    from repro.experiments.internetwork import run_multi_isp
+    from repro.experiments.internetwork import run_multi_isp_experiment
 
     config = _config(args)
-    result = run_multi_isp(
+    result = run_multi_isp_experiment(
         config,
         n_isps=args.isps,
         shape=args.shape,
-        max_rounds=args.rounds,
+        rounds=args.rounds,
         order=args.order,
         include_transit=not args.no_transit,
         transit_scale=args.transit_scale,
+        **_runner_kwargs(args),
     )
     print(f"internetwork: {len(result.isp_names)} ISPs "
           f"({', '.join(result.isp_names)}), "
@@ -350,13 +408,18 @@ def _run_multi_isp(args: argparse.Namespace, out) -> int:
     transit_note = "no transit" if args.no_transit else "with transit"
     print(f"initial global MEL ({transit_note}): {result.initial_mel:.4f}",
           file=out)
-    for round_ in result.rounds:
-        sessions = round_.n_sessions
-        print(f"  round {round_.round_index}: {sessions} sessions, "
-              f"{round_.n_changed} flows moved, "
-              f"global MEL {round_.global_mel:.4f}", file=out)
+    for round_index in range(result.n_rounds):
+        records = result.round_records(round_index)
+        if not records or not records[0].executed_round:
+            break
+        sessions = sum(r.ran_session for r in records)
+        moved = sum(r.n_changed for r in records)
+        print(f"  round {round_index}: {sessions} sessions, "
+              f"{moved} flows moved, "
+              f"global MEL {records[-1].global_mel:.4f}", file=out)
+    converged = result.converged_round()
     claims = [
-        ("converged", "yes" if result.converged else
+        ("converged", "yes" if converged is not None else
          f"no (round limit {args.rounds})"),
         ("global MEL initial -> final",
          f"{result.initial_mel:.4f} -> {result.final_mel:.4f}"),
@@ -365,12 +428,52 @@ def _run_multi_isp(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_robust(args: argparse.Namespace, out) -> int:
+    from repro.experiments.robustness import (
+        _robustness_summary,
+        run_robustness_experiment,
+    )
+
+    config = _config(args)
+    fault_seeds = tuple(
+        int(seed) for seed in args.fault_seeds.split(",") if seed
+    )
+    result = run_robustness_experiment(
+        config,
+        n_isps=args.isps,
+        shape=args.shape,
+        rounds=args.rounds,
+        link_probability=args.link_prob,
+        cutoff=args.cutoff,
+        max_failed=args.max_failed,
+        tail_weight=args.tail_weight,
+        tail_quantile=args.tail_quantile,
+        fault_seeds=fault_seeds,
+        abort_rate=args.abort_rate,
+        deadline_rate=args.deadline_rate,
+        link_failure_rate=args.link_failure_rate,
+        **_runner_kwargs(args),
+    )
+    print(format_claims("robust negotiation under failure",
+                        _robustness_summary(result)), file=out)
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace, out) -> int:
-    from repro.experiments.runner import SweepRunner, get_scenario
+    from repro.experiments.runner import (
+        SweepRunner,
+        get_scenario,
+        retry_kwargs,
+    )
 
     config = _config(args)
     spec = get_scenario(args.scenario)
-    runner = SweepRunner(**_runner_kwargs(args))
+    runner = SweepRunner(
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        **retry_kwargs(args.max_retries, args.retry_backoff),
+    )
     aggregate = runner.run(spec, config)
     claims = spec.summarize(aggregate) if spec.summarize else [
         ("result", repr(aggregate))
@@ -395,6 +498,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _run_figure1(out)
     if args.command == "multi-isp":
         return _run_multi_isp(args, out)
+    if args.command == "robust":
+        return _run_robust(args, out)
     if args.command == "sweep":
         return _run_sweep(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -47,8 +47,13 @@ from repro.core.strategies import (
     VetoIfWorseThanDefault,
 )
 
-# Imported last: the coordinator layers on the routing/topology
-# substrates, which themselves import core submodules.
+# Imported last: these layer on the routing/topology substrates, which
+# themselves import core submodules.
+from repro.core.scenario_aware import (  # noqa: E402
+    ScenarioAwareEvaluator,
+    scenario_placement_mels,
+)
+from repro.core.faults import FaultEvent, FaultPlan  # noqa: E402
 from repro.core.multi_session import (  # noqa: E402
     CoordinationRound,
     EdgeSessionRecord,
@@ -67,6 +72,8 @@ __all__ = [
     "StaticCostEvaluator",
     "StaticPreferenceEvaluator",
     "LoadAwareEvaluator",
+    "ScenarioAwareEvaluator",
+    "scenario_placement_mels",
     "NegotiationAgent",
     "CheatingAgent",
     "inflate_best_alternative",
@@ -100,6 +107,8 @@ __all__ = [
     "StopMessage",
     "message_to_dict",
     "message_from_dict",
+    "FaultEvent",
+    "FaultPlan",
     "MultiSessionCoordinator",
     "MultiNegotiationResult",
     "CoordinationRound",

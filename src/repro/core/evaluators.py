@@ -283,8 +283,11 @@ class LoadAwareEvaluator:
         """Refresh classes for the remaining flows from current loads.
 
         Sparse engine: one gather + segment-max over the whole remaining
-        block, then a whole-matrix class mapping. Legacy engine: the
-        original per-(flow, alternative) loop. Identical outputs.
+        block (:meth:`_score_block`), then a whole-matrix class mapping
+        (:meth:`_apply_scores`). Legacy engine: the original per-(flow,
+        alternative) loop. Identical outputs. Subclasses override
+        :meth:`_score_block` to substitute their own internal score while
+        inheriting the class mapping unchanged.
         """
         if self.engine == "legacy":
             self._recompute_legacy(remaining)
@@ -292,7 +295,14 @@ class LoadAwareEvaluator:
         flows = np.flatnonzero(remaining)
         if not flows.size:
             return
-        sel = self._tracker.peek_max_ratio_block(flows, self._capacities)
+        self._apply_scores(flows, self._score_block(flows))
+
+    def _score_block(self, flows: np.ndarray) -> np.ndarray:
+        """Internal (K, I) scores of ``flows`` under the current loads."""
+        return self._tracker.peek_max_ratio_block(flows, self._capacities)
+
+    def _apply_scores(self, flows: np.ndarray, sel: np.ndarray) -> None:
+        """Map a (K, I) score block to preference classes for ``flows``."""
         defaults = self._defaults[flows]
         rows = np.arange(flows.size)
         default_scores = sel[rows, defaults]

@@ -32,10 +32,27 @@ flow-axis analogue of the bandwidth experiment's empty-affected-set
 short-circuit. With a 2-ISP chain the coordinator degenerates to exactly
 one plain pairwise session, bit-identical to calling
 :class:`NegotiationSession` directly (the differential tests pin this).
+
+Robustness (PR 7): a deterministic :class:`~repro.core.faults.FaultPlan`
+injects session aborts, per-edge deadlines, and permanent mid-round link
+failures into the coordination loop. Agreement adoption is atomic — a
+slot either adopts a complete proposal or leaves the last adopted
+assignment untouched, so an aborted or deadline-expired session never
+half-applies. Severed columns shrink the edge to a derived working table
+(the PR 6 ``without_alternatives`` fast path); stranded flows re-route to
+their early-exit column among the survivors and the edge renegotiates.
+Edges that keep failing are quarantined for a bounded exponential backoff
+of rounds. With a ``failure_model``, agents negotiate with
+:class:`~repro.core.scenario_aware.ScenarioAwareEvaluator` preferences
+(the ``tail_weight`` CVaR blend) and re-agreements are Pareto-gated on
+the (nominal, CVaR_q) MEL pair per endpoint, so availability cannot
+silently regress. An empty plan with no model is bit-identical to the
+fault-free path (pinned by the fault tests).
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,10 +61,22 @@ from repro.capacity.loads import link_loads
 from repro.capacity.provisioning import ProportionalCapacity
 from repro.core.agent import NegotiationAgent
 from repro.core.evaluators import LoadAwareEvaluator
+from repro.core.faults import FaultPlan
+from repro.core.outcomes import TerminationReason
 from repro.core.preferences import PreferenceRange
+from repro.core.scenario_aware import (
+    ScenarioAwareEvaluator,
+    scenario_placement_mels,
+)
 from repro.core.session import NegotiationSession, SessionConfig
 from repro.core.strategies import ReassignEveryFraction
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjectionError
+from repro.metrics.tail import (
+    conditional_value_at_risk,
+    expected_mel,
+    value_at_risk,
+)
+from repro.routing.scenarios import FailureModel, enumerate_failure_scenarios
 from repro.geo.cities import default_city_database
 from repro.geo.population import PopulationModel
 from repro.metrics.mel import max_excess_load
@@ -72,6 +101,9 @@ __all__ = [
 
 _ORDERS = ("round_robin", "random")
 _EPS = 1e-12
+_STOP_REASONS = ("converged", "max_rounds", "quarantined")
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -82,6 +114,12 @@ class EdgeSessionRecord:
     (internetwork member order); ``global_mel`` is their maximum. A skipped
     slot (unchanged context or empty scope) has ``ran_session=False`` and
     carries the state unchanged.
+
+    ``fault`` records an injected failure consuming the slot — ``"abort"``
+    (session crashed; last adopted assignment kept), ``"deadline"``
+    (session overran its round budget; proposal discarded) or
+    ``"quarantined"`` (edge benched by backoff) — and ``n_rerouted``
+    counts flows force-moved off columns severed this slot.
     """
 
     round_index: int
@@ -94,6 +132,8 @@ class EdgeSessionRecord:
     n_changed: int
     mel_per_isp: tuple[float, ...]
     global_mel: float
+    fault: str | None = None
+    n_rerouted: int = 0
 
 
 @dataclass
@@ -121,7 +161,13 @@ class CoordinationRound:
 
 @dataclass
 class MultiNegotiationResult:
-    """Trajectory and final placements of a multi-ISP coordination run."""
+    """Trajectory and final placements of a multi-ISP coordination run.
+
+    ``stop_reason`` states why the loop ended: ``"converged"`` (a full
+    fault-free pass changed nothing), ``"max_rounds"`` (round budget
+    exhausted) or ``"quarantined"`` (budget exhausted with at least one
+    edge still benched by failure backoff).
+    """
 
     isp_names: tuple[str, ...]
     edge_names: tuple[str, ...]
@@ -130,6 +176,7 @@ class MultiNegotiationResult:
     initial_mel_per_isp: tuple[float, ...]
     choices: list[np.ndarray]
     defaults: list[np.ndarray]
+    stop_reason: str = "converged"
 
     @property
     def initial_mel(self) -> float:
@@ -164,6 +211,15 @@ class MultiSessionCoordinator:
     every round) or ``"random"`` (a seeded shuffle per round). Transit
     background can be disabled (``include_transit=False``) to study pure
     session interaction.
+
+    Robustness knobs: ``fault_plan`` schedules injected failures (see
+    :mod:`repro.core.faults`); ``quarantine_after`` consecutive failed
+    slots bench an edge for ``quarantine_backoff_rounds`` rounds, doubling
+    per quarantine up to ``quarantine_backoff_cap``. A ``failure_model``
+    switches the edge agents to CVaR-blended scenario-aware preferences
+    (``tail_weight``/``tail_quantile``/``scenario_engine``) and adds the
+    per-endpoint CVaR_q MEL to the re-agreement Pareto gate. All default
+    to off; the defaults leave every pre-existing code path untouched.
     """
 
     def __init__(
@@ -178,6 +234,14 @@ class MultiSessionCoordinator:
         include_transit: bool = True,
         transit_scale: float = 1.0,
         subset_engine: str = "incidence",
+        fault_plan: FaultPlan | None = None,
+        failure_model: FailureModel | None = None,
+        tail_weight: float = 0.5,
+        tail_quantile: float = 0.95,
+        scenario_engine: str = "batch",
+        quarantine_after: int = 2,
+        quarantine_backoff_rounds: int = 1,
+        quarantine_backoff_cap: int = 8,
     ):
         if order not in _ORDERS:
             raise ConfigurationError(
@@ -187,6 +251,24 @@ class MultiSessionCoordinator:
             raise ConfigurationError("max_rounds must be >= 1")
         if transit_scale < 0:
             raise ConfigurationError("transit_scale must be >= 0")
+        if quarantine_after < 1:
+            raise ConfigurationError("quarantine_after must be >= 1")
+        if quarantine_backoff_rounds < 1:
+            raise ConfigurationError(
+                "quarantine_backoff_rounds must be >= 1"
+            )
+        if quarantine_backoff_cap < quarantine_backoff_rounds:
+            raise ConfigurationError(
+                "quarantine_backoff_cap must be >= quarantine_backoff_rounds"
+            )
+        if not 0.0 <= tail_weight <= 1.0:
+            raise ConfigurationError(
+                f"tail_weight must be in [0, 1], got {tail_weight}"
+            )
+        if not 0.0 < tail_quantile < 1.0:
+            raise ConfigurationError(
+                f"tail_quantile must be in (0, 1), got {tail_quantile}"
+            )
         self.net = internetwork
         if config is None:
             # Imported lazily: core must not depend on the experiments
@@ -205,6 +287,14 @@ class MultiSessionCoordinator:
         self.include_transit = include_transit
         self.transit_scale = transit_scale
         self.subset_engine = subset_engine
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self.failure_model = failure_model
+        self.tail_weight = float(tail_weight)
+        self.tail_quantile = float(tail_quantile)
+        self.scenario_engine = scenario_engine
+        self.quarantine_after = quarantine_after
+        self.quarantine_backoff_rounds = quarantine_backoff_rounds
+        self.quarantine_backoff_cap = quarantine_backoff_cap
 
         self._routings = {
             isp.name: IntradomainRouting(isp) for isp in self.net.isps
@@ -256,6 +346,59 @@ class MultiSessionCoordinator:
             None
         ] * self.net.n_edges()
         self._negotiated_once = [False] * self.net.n_edges()
+
+        n_edges = self.net.n_edges()
+        #: Permanently severed columns per edge, and the derived working
+        #: (table, keep) / restricted model / scenario set caches they
+        #: invalidate. ``_force_scope`` bypasses the context-skip and
+        #: widens the scope to every flow after a severance.
+        self._severed: list[set[int]] = [set() for _ in range(n_edges)]
+        self._working_cache: list[
+            tuple["PairCostTable", np.ndarray] | None
+        ] = [None] * n_edges
+        self._edge_model_cache: list[FailureModel | None] = [None] * n_edges
+        self._edge_scenarios_cache: list = [None] * n_edges
+        self._force_scope = [False] * n_edges
+        self._fail_streak = [0] * n_edges
+        self._n_quarantines = [0] * n_edges
+        #: First round index at which the edge may run again; rounds
+        #: strictly below it are quarantined skips.
+        self._quarantined_until = [0] * n_edges
+        self._validate_fault_plan()
+
+    def _validate_fault_plan(self) -> None:
+        """Reject plans that cannot be injected into this internetwork."""
+        if self.fault_plan.is_empty():
+            return
+        n_edges = self.net.n_edges()
+        cumulative: list[set[int]] = [set() for _ in range(n_edges)]
+        for event in self.fault_plan.events:
+            if event.edge_index >= n_edges:
+                raise FaultInjectionError(
+                    f"fault event at round {event.round_index} targets "
+                    f"edge {event.edge_index} but the internetwork has "
+                    f"{n_edges} edges"
+                )
+            if event.kind != "link_failure":
+                continue
+            table = self._tables[event.edge_index]
+            edge = self.net.edges[event.edge_index]
+            for column in event.columns:
+                if column >= table.n_alternatives:
+                    raise FaultInjectionError(
+                        f"fault event at round {event.round_index} severs "
+                        f"column {column} of edge {edge.name!r}, which has "
+                        f"only {table.n_alternatives} interconnections"
+                    )
+            cumulative[event.edge_index].update(event.columns)
+        for edge_index, columns in enumerate(cumulative):
+            table = self._tables[edge_index]
+            if len(columns) >= table.n_alternatives:
+                raise FaultInjectionError(
+                    f"fault plan severs every interconnection of edge "
+                    f"{self.net.edges[edge_index].name!r}; at least one "
+                    f"column must survive"
+                )
 
     # -- load accounting -----------------------------------------------------
 
@@ -375,16 +518,52 @@ class MultiSessionCoordinator:
             affected[incidence.entry_flow[touched]] = True
         return np.flatnonzero(affected)
 
+    def _make_evaluator(
+        self, sub_table, side: str, caps: np.ndarray,
+        defaults_sub: np.ndarray, base_loads: np.ndarray,
+        p_range: PreferenceRange, model: FailureModel | None,
+    ):
+        """One side's evaluator: plain load-aware, or CVaR-blended when
+        the coordinator carries a failure model."""
+        if model is None:
+            return LoadAwareEvaluator(
+                sub_table,
+                side,
+                caps,
+                defaults_sub,
+                base_loads=base_loads,
+                range_=p_range,
+                ratio_unit=self.config.ratio_unit,
+            )
+        return ScenarioAwareEvaluator(
+            sub_table,
+            side,
+            caps,
+            defaults_sub,
+            model,
+            tail_weight=self.tail_weight,
+            tail_quantile=self.tail_quantile,
+            base_loads=base_loads,
+            range_=p_range,
+            ratio_unit=self.config.ratio_unit,
+            scenario_engine=self.scenario_engine,
+        )
+
     def _run_session(
         self, edge_index: int, scope: np.ndarray,
         base_a: np.ndarray, base_b: np.ndarray,
-    ) -> np.ndarray:
-        """One pairwise session over the scoped sub-table; returns choices.
+        max_session_rounds: int | None = None,
+    ) -> tuple[np.ndarray, TerminationReason]:
+        """One pairwise session over the scoped sub-table.
 
         Mirrors the bandwidth experiment's session construction exactly:
-        load-aware evaluators on both sides, preferences reassigned every
-        ``config.reassign_fraction`` of traffic, defaults = the flows'
-        current placements.
+        (scenario-aware) load-aware evaluators on both sides, preferences
+        reassigned every ``config.reassign_fraction`` of traffic,
+        defaults = the flows' current placements. On an edge with severed
+        columns the sub-table is derived from the working table and the
+        returned choices are mapped back to full-table columns.
+        ``max_session_rounds`` imposes an injected deadline on the inner
+        protocol. Returns ``(choices, termination reason)``.
         """
         table = self._tables[edge_index]
         choices = self._choices[edge_index]
@@ -396,32 +575,30 @@ class MultiSessionCoordinator:
         eval_base_b = link_loads(
             table, choices, "b", active=out_of_scope, base=base_b
         )
-        sub_table = table.subset(scope, engine=self.subset_engine)
-        defaults_sub = choices[scope]
+        work_table, keep = self._working(edge_index)
+        sub_table = work_table.subset(scope, engine=self.subset_engine)
+        if self._severed[edge_index]:
+            defaults_sub = self._inverse_keep(edge_index)[choices[scope]]
+        else:
+            defaults_sub = choices[scope]
         p_range = PreferenceRange(self.config.preference_p)
         edge = self.net.edges[edge_index]
+        model = (
+            None if self.failure_model is None
+            else self._edge_model(edge_index)
+        )
         agent_a = NegotiationAgent(
             "a",
-            LoadAwareEvaluator(
-                sub_table,
-                "a",
-                self._caps[edge.isp_a.name],
-                defaults_sub,
-                base_loads=eval_base_a,
-                range_=p_range,
-                ratio_unit=self.config.ratio_unit,
+            self._make_evaluator(
+                sub_table, "a", self._caps[edge.isp_a.name],
+                defaults_sub, eval_base_a, p_range, model,
             ),
         )
         agent_b = NegotiationAgent(
             "b",
-            LoadAwareEvaluator(
-                sub_table,
-                "b",
-                self._caps[edge.isp_b.name],
-                defaults_sub,
-                base_loads=eval_base_b,
-                range_=p_range,
-                ratio_unit=self.config.ratio_unit,
+            self._make_evaluator(
+                sub_table, "b", self._caps[edge.isp_b.name],
+                defaults_sub, eval_base_b, p_range, model,
             ),
         )
         session = NegotiationSession(
@@ -432,10 +609,15 @@ class MultiSessionCoordinator:
             config=SessionConfig(
                 reassignment_policy=ReassignEveryFraction(
                     self.config.reassign_fraction
-                )
+                ),
+                max_rounds=max_session_rounds,
             ),
         )
-        return session.run().choices
+        outcome = session.run()
+        sub_choices = outcome.choices
+        if self._severed[edge_index]:
+            sub_choices = keep[sub_choices]
+        return sub_choices, outcome.reason
 
     def _edge_mels(
         self, edge_index: int, choices: np.ndarray,
@@ -451,10 +633,216 @@ class MultiSessionCoordinator:
             max_excess_load(loads_b, self._caps[edge.isp_b.name]),
         )
 
+    # -- fault machinery -------------------------------------------------------
+
+    def _working(self, edge_index: int):
+        """The edge's working (table, keep) after severances, cached.
+
+        With nothing severed the full table itself is the working table
+        (``keep`` is the identity), so the fault-free path derives
+        nothing.
+        """
+        cached = self._working_cache[edge_index]
+        if cached is None:
+            table = self._tables[edge_index]
+            severed = self._severed[edge_index]
+            if not severed:
+                keep = np.arange(table.n_alternatives, dtype=np.intp)
+                cached = (table, keep)
+            else:
+                keep = np.array(
+                    [
+                        c for c in range(table.n_alternatives)
+                        if c not in severed
+                    ],
+                    dtype=np.intp,
+                )
+                cached = (
+                    table.without_alternatives(tuple(sorted(severed))),
+                    keep,
+                )
+            self._working_cache[edge_index] = cached
+        return cached
+
+    def _inverse_keep(self, edge_index: int) -> np.ndarray:
+        """Map full-table column indices to working-table columns."""
+        table = self._tables[edge_index]
+        _, keep = self._working(edge_index)
+        inverse = np.full(table.n_alternatives, -1, dtype=np.intp)
+        inverse[keep] = np.arange(keep.size, dtype=np.intp)
+        return inverse
+
+    def _edge_model(self, edge_index: int) -> FailureModel:
+        """The failure model induced on the edge's surviving columns."""
+        cached = self._edge_model_cache[edge_index]
+        if cached is None:
+            cached = self.failure_model
+            if self._severed[edge_index]:
+                _, keep = self._working(edge_index)
+                cached = cached.restrict([int(c) for c in keep])
+            self._edge_model_cache[edge_index] = cached
+        return cached
+
+    def _edge_scenarios(self, edge_index: int):
+        cached = self._edge_scenarios_cache[edge_index]
+        if cached is None:
+            work_table, _ = self._working(edge_index)
+            cached = enumerate_failure_scenarios(
+                work_table.n_alternatives, self._edge_model(edge_index)
+            )
+            self._edge_scenarios_cache[edge_index] = cached
+        return cached
+
+    def _sever_columns(
+        self, edge_index: int, columns: tuple[int, ...]
+    ) -> int:
+        """Permanently fail interconnection columns on one edge.
+
+        Flows stranded on the severed columns re-route to their
+        early-exit column among the survivors (the default rule applied
+        to the working table); the edge's derived caches drop and its
+        next slot renegotiates over every flow. Returns the number of
+        re-routed flows.
+        """
+        fresh = [
+            c for c in columns if c not in self._severed[edge_index]
+        ]
+        if not fresh:
+            return 0
+        self._severed[edge_index].update(fresh)
+        self._working_cache[edge_index] = None
+        self._edge_model_cache[edge_index] = None
+        self._edge_scenarios_cache[edge_index] = None
+        self._force_scope[edge_index] = True
+        choices = self._choices[edge_index]
+        stranded = np.isin(
+            choices, np.asarray(sorted(self._severed[edge_index]))
+        )
+        n_stranded = int(np.count_nonzero(stranded))
+        if n_stranded:
+            work_table, keep = self._working(edge_index)
+            refuge = keep[early_exit_choices(work_table)]
+            rerouted = choices.copy()
+            rerouted[stranded] = refuge[stranded]
+            self._choices[edge_index] = rerouted
+            self._load_cache[edge_index] = {}
+        return n_stranded
+
+    def _register_failure(self, edge_index: int, round_index: int) -> None:
+        """Count a failed slot; quarantine the edge past the threshold.
+
+        The backoff doubles per quarantine episode, bounded by
+        ``quarantine_backoff_cap``.
+        """
+        self._fail_streak[edge_index] += 1
+        if self._fail_streak[edge_index] < self.quarantine_after:
+            return
+        backoff = min(
+            self.quarantine_backoff_rounds
+            * 2 ** self._n_quarantines[edge_index],
+            self.quarantine_backoff_cap,
+        )
+        self._n_quarantines[edge_index] += 1
+        self._fail_streak[edge_index] = 0
+        self._quarantined_until[edge_index] = round_index + 1 + backoff
+        _log.warning(
+            "edge %s quarantined for %d round(s) after repeated failures",
+            self.net.edges[edge_index].name,
+            backoff,
+        )
+
+    def _edge_cvars(
+        self, edge_index: int, choices: np.ndarray,
+        base_a: np.ndarray, base_b: np.ndarray,
+    ) -> tuple[float, float]:
+        """Both endpoints' CVaR_q own-network MELs for a placement."""
+        work_table, _ = self._working(edge_index)
+        sub_choices = self._inverse_keep(edge_index)[choices]
+        scenario_set = self._edge_scenarios(edge_index)
+        edge = self.net.edges[edge_index]
+        cvars = []
+        for side, base, isp in (
+            ("a", base_a, edge.isp_a.name),
+            ("b", base_b, edge.isp_b.name),
+        ):
+            probs, mels = scenario_placement_mels(
+                work_table, sub_choices, side, self._caps[isp],
+                scenario_set, base=base,
+            )
+            cvars.append(
+                conditional_value_at_risk(
+                    probs, mels, scenario_set.coverage, self.tail_quantile
+                )
+            )
+        return cvars[0], cvars[1]
+
+    def risk_report(self) -> list[dict]:
+        """Per-edge tail-risk assessment of the current placements.
+
+        For every edge and endpoint: nominal MEL plus expected/VaR_q/
+        CVaR_q MEL over the edge's (severance-restricted) failure
+        scenario distribution, under the operational re-route model of
+        :func:`~repro.core.scenario_aware.scenario_placement_mels`.
+        Requires a ``failure_model``.
+        """
+        if self.failure_model is None:
+            raise ConfigurationError(
+                "risk_report requires the coordinator's failure_model"
+            )
+        report = []
+        for edge_index, edge in enumerate(self.net.edges):
+            base_a = self._isp_loads(edge.isp_a.name, exclude_edge=edge_index)
+            base_b = self._isp_loads(edge.isp_b.name, exclude_edge=edge_index)
+            work_table, _ = self._working(edge_index)
+            scenario_set = self._edge_scenarios(edge_index)
+            sub_choices = self._inverse_keep(edge_index)[
+                self._choices[edge_index]
+            ]
+            nominal = self._edge_mels(
+                edge_index, self._choices[edge_index], base_a, base_b
+            )
+            entry = {
+                "edge": edge.name,
+                "severed": tuple(sorted(self._severed[edge_index])),
+                "nominal": nominal,
+            }
+            for metric in ("expected", "var", "cvar"):
+                entry[metric] = []
+            for side, base, isp in (
+                ("a", base_a, edge.isp_a.name),
+                ("b", base_b, edge.isp_b.name),
+            ):
+                probs, mels = scenario_placement_mels(
+                    work_table, sub_choices, side, self._caps[isp],
+                    scenario_set, base=base,
+                )
+                entry["expected"].append(expected_mel(probs, mels))
+                entry["var"].append(
+                    value_at_risk(
+                        probs, mels, scenario_set.coverage,
+                        self.tail_quantile,
+                    )
+                )
+                entry["cvar"].append(
+                    conditional_value_at_risk(
+                        probs, mels, scenario_set.coverage,
+                        self.tail_quantile,
+                    )
+                )
+            for metric in ("expected", "var", "cvar"):
+                entry[metric] = tuple(entry[metric])
+            report.append(entry)
+        return report
+
     # -- the coordination loop -------------------------------------------------
 
     def run(self) -> MultiNegotiationResult:
-        """Execute rounds until convergence or the round limit."""
+        """Execute rounds until convergence or the round limit.
+
+        A round converges only if it is fault-free *and* changes nothing:
+        an aborted, deadline-expired or quarantined slot defers work to a
+        later round, so such a round cannot witness a fixed point.
+        """
         rng = derive_rng(self.seed, "multi-isp-order")
         rounds: list[CoordinationRound] = []
         initial_mels = self._mels()
@@ -472,8 +860,23 @@ class MultiSessionCoordinator:
                 record = self._run_slot(round_index, slot, edge_index)
                 round_.records.append(record)
             rounds.append(round_)
-            if round_.n_changed == 0:
+            if round_.n_changed == 0 and all(
+                r.fault is None for r in round_.records
+            ):
                 converged = True
+        if converged:
+            stop_reason = "converged"
+        elif any(q > len(rounds) for q in self._quarantined_until):
+            stop_reason = "quarantined"
+        else:
+            stop_reason = "max_rounds"
+        if not converged:
+            _log.warning(
+                "multi-ISP coordination stopped without convergence "
+                "after %d round(s) (%s)",
+                len(rounds),
+                stop_reason,
+            )
         return MultiNegotiationResult(
             isp_names=self.net.names(),
             edge_names=tuple(e.name for e in self.net.edges),
@@ -482,16 +885,30 @@ class MultiSessionCoordinator:
             initial_mel_per_isp=initial_mels,
             choices=[c.copy() for c in self._choices],
             defaults=[d.copy() for d in self._defaults],
+            stop_reason=stop_reason,
         )
 
     def _run_slot(
         self, round_index: int, slot: int, edge_index: int
     ) -> EdgeSessionRecord:
         edge = self.net.edges[edge_index]
+
+        # Injected link failures land first — they are environmental and
+        # strike whether or not the edge gets to negotiate this round.
+        events = self.fault_plan.events_for(round_index, edge_index)
+        n_rerouted = 0
+        for event in events:
+            if event.kind == "link_failure":
+                n_rerouted += self._sever_columns(edge_index, event.columns)
+
         base_a = self._isp_loads(edge.isp_a.name, exclude_edge=edge_index)
         base_b = self._isp_loads(edge.isp_b.name, exclude_edge=edge_index)
 
-        def skip(scope_size: int = 0) -> EdgeSessionRecord:
+        def skip(
+            scope_size: int = 0,
+            fault: str | None = None,
+            ran_session: bool = False,
+        ) -> EdgeSessionRecord:
             mels = self._mels()
             return EdgeSessionRecord(
                 round_index=round_index,
@@ -499,16 +916,25 @@ class MultiSessionCoordinator:
                 edge_index=edge_index,
                 pair_name=edge.name,
                 scope_size=scope_size,
-                ran_session=False,
+                ran_session=ran_session,
                 adopted=False,
                 n_changed=0,
                 mel_per_isp=mels,
                 global_mel=max(mels) if mels else 0.0,
+                fault=fault,
+                n_rerouted=n_rerouted,
             )
 
+        if round_index < self._quarantined_until[edge_index]:
+            # Benched by backoff; the forced-scope flag (if any) survives
+            # until the edge is allowed to run again.
+            return skip(fault="quarantined")
+
+        forced = self._force_scope[edge_index]
         last = self._last_context[edge_index]
         if (
-            last is not None
+            not forced
+            and last is not None
             and np.array_equal(base_a, last[0])
             and np.array_equal(base_b, last[1])
         ):
@@ -516,16 +942,43 @@ class MultiSessionCoordinator:
             # the session would reproduce itself. Skip without touching it.
             return skip()
 
-        scope = self._scope(edge_index, base_a, base_b)
+        if forced:
+            # A severance changed the edge's own table: every flow's
+            # preference row is stale, regardless of base-load deltas.
+            scope = np.arange(self._tables[edge_index].n_flows, dtype=np.intp)
+        else:
+            scope = self._scope(edge_index, base_a, base_b)
         if scope.size == 0:
-            # The context changed only on links no flow of this edge can
-            # touch — an empty negotiation scope. Short-circuit without
-            # deriving a sub-table or spinning up a zero-flow session
-            # (the PR 3 empty-affected-set rule, applied to rounds).
             self._last_context[edge_index] = (base_a, base_b)
             return skip()
 
-        proposal_sub = self._run_session(edge_index, scope, base_a, base_b)
+        if any(event.kind == "abort" for event in events):
+            # The session crashes before an agreement: adoption is atomic,
+            # so the last adopted assignment stands untouched. The context
+            # is deliberately not updated (and a forced scope survives),
+            # so the edge retries on its next non-quarantined slot.
+            self._register_failure(edge_index, round_index)
+            return skip(scope_size=int(scope.size), fault="abort")
+
+        deadlines = [
+            event.deadline_rounds for event in events
+            if event.kind == "deadline"
+        ]
+        deadline = min(deadlines) if deadlines else None
+        proposal_sub, reason = self._run_session(
+            edge_index, scope, base_a, base_b,
+            max_session_rounds=deadline,
+        )
+        if deadline is not None and reason is TerminationReason.ROUND_LIMIT:
+            # The session outran its injected deadline: its partial
+            # agreement is discarded whole (atomic adoption), exactly as
+            # for an abort.
+            self._register_failure(edge_index, round_index)
+            return skip(
+                scope_size=int(scope.size), fault="deadline",
+                ran_session=True,
+            )
+
         proposal = self._choices[edge_index].copy()
         proposal[scope] = proposal_sub
 
@@ -534,7 +987,9 @@ class MultiSessionCoordinator:
             adopted = True
         else:
             # Pareto gate, as in continuous renegotiation: adopt only if
-            # neither endpoint's own-network MEL worsens.
+            # neither endpoint's own-network MEL worsens — and, with a
+            # failure model, only if neither endpoint's CVaR_q MEL
+            # worsens either (availability cannot silently regress).
             old_a, old_b = self._edge_mels(
                 edge_index, self._choices[edge_index], base_a, base_b
             )
@@ -542,6 +997,16 @@ class MultiSessionCoordinator:
                 edge_index, proposal, base_a, base_b
             )
             adopted = new_a <= old_a + _EPS and new_b <= old_b + _EPS
+            if adopted and self.failure_model is not None:
+                old_ra, old_rb = self._edge_cvars(
+                    edge_index, self._choices[edge_index], base_a, base_b
+                )
+                new_ra, new_rb = self._edge_cvars(
+                    edge_index, proposal, base_a, base_b
+                )
+                adopted = (
+                    new_ra <= old_ra + _EPS and new_rb <= old_rb + _EPS
+                )
         n_changed = 0
         if adopted:
             n_changed = int(
@@ -551,6 +1016,8 @@ class MultiSessionCoordinator:
             self._load_cache[edge_index] = {}
         self._negotiated_once[edge_index] = True
         self._last_context[edge_index] = (base_a, base_b)
+        self._force_scope[edge_index] = False
+        self._fail_streak[edge_index] = 0
         mels = self._mels()
         return EdgeSessionRecord(
             round_index=round_index,
@@ -563,4 +1030,6 @@ class MultiSessionCoordinator:
             n_changed=n_changed,
             mel_per_isp=mels,
             global_mel=max(mels) if mels else 0.0,
+            fault=None,
+            n_rerouted=n_rerouted,
         )

@@ -21,6 +21,7 @@ __all__ = [
     "OptimizationError",
     "SerializationError",
     "SweepUnitError",
+    "FaultInjectionError",
 ]
 
 
@@ -66,6 +67,10 @@ class OptimizationError(ReproError):
 
 class SerializationError(ReproError):
     """Topology or message (de)serialization failed."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan does not fit the topology it is injected into."""
 
 
 class SweepUnitError(ReproError):

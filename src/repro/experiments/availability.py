@@ -60,9 +60,16 @@ from repro.experiments.runner import (
     ScenarioSpec,
     SweepRunner,
     register_scenario,
+    retry_kwargs,
 )
 from repro.geo.population import PopulationModel
 from repro.metrics.mel import max_excess_load
+from repro.metrics.tail import (
+    _tail_distribution,  # noqa: F401  (re-export for the metric tests)
+    conditional_value_at_risk,
+    expected_mel,
+    value_at_risk,
+)
 from repro.routing.exits import early_exit_choices
 from repro.routing.scenarios import (
     FailureModel,
@@ -121,85 +128,10 @@ class ScenarioOutcome:
 
 
 # ---------------------------------------------------------------------------
-# Availability metrics (pure functions over (probabilities, MELs, coverage))
+# Availability metrics — pure functions over (probabilities, MELs,
+# coverage), re-exported from repro.metrics.tail where the scenario-aware
+# evaluator (core layer) shares them.
 # ---------------------------------------------------------------------------
-
-
-def _tail_distribution(
-    probs: np.ndarray, mels: np.ndarray, coverage: float
-) -> tuple[np.ndarray, np.ndarray]:
-    """The (mel, mass) distribution used by VaR/CVaR, sorted ascending.
-
-    The uncovered mass ``1 - coverage`` is assigned the worst enumerated
-    MEL — the documented lower-bound convention: every non-enumerated
-    scenario fails *more* risk units than some enumerated one, so its MEL
-    is at least plausibly as bad; the true tail can only be worse.
-    """
-    if probs.size == 0:
-        raise ConfigurationError("no enumerated scenarios to rank")
-    order = np.argsort(mels, kind="stable")
-    mels = mels[order]
-    probs = probs[order].astype(float)
-    uncovered = max(0.0, 1.0 - coverage)
-    if uncovered > 0.0:
-        mels = np.append(mels, mels[-1])
-        probs = np.append(probs, uncovered)
-    return mels, probs
-
-
-def expected_mel(probs: np.ndarray, mels: np.ndarray) -> float:
-    """Probability-weighted mean MEL over the routable enumerated mass."""
-    finite = np.isfinite(mels)
-    mass = float(probs[finite].sum())
-    if mass <= 0.0:
-        return math.inf
-    return float((probs[finite] * mels[finite]).sum() / mass)
-
-
-def value_at_risk(
-    probs: np.ndarray, mels: np.ndarray, coverage: float, quantile: float
-) -> float:
-    """Smallest MEL ``m`` with ``P(MEL <= m) >= quantile``."""
-    if not 0.0 < quantile < 1.0:
-        raise ConfigurationError(
-            f"quantile must be in (0, 1), got {quantile}"
-        )
-    mels, probs = _tail_distribution(probs, mels, coverage)
-    cum = np.cumsum(probs)
-    idx = int(np.searchsorted(cum, quantile - 1e-12))
-    return float(mels[min(idx, mels.size - 1)])
-
-
-def conditional_value_at_risk(
-    probs: np.ndarray, mels: np.ndarray, coverage: float, quantile: float
-) -> float:
-    """Expected MEL of the worst ``1 - quantile`` probability tail.
-
-    The atom straddling the quantile is split, so
-    ``CVaR = (1/(1-q)) * E[(MEL) over the q..1 tail]`` exactly.
-    """
-    if not 0.0 < quantile < 1.0:
-        raise ConfigurationError(
-            f"quantile must be in (0, 1), got {quantile}"
-        )
-    mels, probs = _tail_distribution(probs, mels, coverage)
-    cum = np.cumsum(probs)
-    total = float(cum[-1])
-    tail = total - quantile
-    if tail <= 0.0:
-        return float(mels[-1])
-    # Walk the tail from the worst scenario down, consuming mass until the
-    # quantile boundary, splitting the final atom.
-    acc = 0.0
-    remaining = tail
-    for i in range(mels.size - 1, -1, -1):
-        take = min(remaining, float(probs[i]))
-        if take > 0.0:
-            acc += take * float(mels[i])
-            remaining -= take
-        if remaining <= 0.0:
-            break
-    return acc / tail
 
 
 @dataclass(frozen=True)
@@ -564,6 +496,7 @@ def run_availability_experiment(
     checkpoint_dir=None,
     resume: bool = False,
     max_retries: int | None = None,
+    retry_backoff: float | None = None,
 ) -> AvailabilityExperimentResult:
     """Run the availability experiment over the configured dataset.
 
@@ -586,10 +519,9 @@ def run_availability_experiment(
         provisioner=provisioner,
     )
     runner_kwargs = dict(
-        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume,
+        **retry_kwargs(max_retries, retry_backoff),
     )
-    if max_retries is not None:
-        runner_kwargs["max_retries"] = max_retries
     return SweepRunner(**runner_kwargs).run(
         AVAILABILITY_SCENARIO, config, params
     )

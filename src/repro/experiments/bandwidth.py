@@ -64,6 +64,7 @@ from repro.experiments.runner import (
     ScenarioSpec,
     SweepRunner,
     register_scenario,
+    retry_kwargs,
 )
 from repro.geo.cities import default_city_database
 from repro.geo.population import PopulationModel
@@ -611,6 +612,8 @@ def run_bandwidth_experiment(
     runner: str = "sweep",
     checkpoint_dir=None,
     resume: bool = False,
+    max_retries: int | None = None,
+    retry_backoff: float | None = None,
 ) -> BandwidthExperimentResult:
     """Run the Section 5.2 experiment over the configured dataset.
 
@@ -647,7 +650,8 @@ def run_bandwidth_experiment(
     if runner != "sweep":
         raise ConfigurationError(f"unknown runner {runner!r}")
     return SweepRunner(
-        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume,
+        **retry_kwargs(max_retries, retry_backoff),
     ).run(BANDWIDTH_SCENARIO, config, params)
 
 

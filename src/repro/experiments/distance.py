@@ -43,6 +43,7 @@ from repro.experiments.runner import (
     ScenarioSpec,
     SweepRunner,
     register_scenario,
+    retry_kwargs,
 )
 from repro.metrics.distance import percent_gain
 from repro.routing.costs import PairCostTable, build_pair_cost_table
@@ -398,6 +399,8 @@ def run_distance_experiment(
     runner: str = "sweep",
     checkpoint_dir=None,
     resume: bool = False,
+    max_retries: int | None = None,
+    retry_backoff: float | None = None,
 ) -> DistanceExperimentResult:
     """Run the Section 5.1 experiment over the configured dataset.
 
@@ -416,7 +419,8 @@ def run_distance_experiment(
     if runner != "sweep":
         raise ConfigurationError(f"unknown runner {runner!r}")
     return SweepRunner(
-        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume,
+        **retry_kwargs(max_retries, retry_backoff),
     ).run(
         DISTANCE_SCENARIO, config, {"include_cheating": include_cheating}
     )

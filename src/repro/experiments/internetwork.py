@@ -35,6 +35,7 @@ from repro.experiments.runner import (
     ScenarioSpec,
     SweepRunner,
     register_scenario,
+    retry_kwargs,
 )
 from repro.topology.internetwork import (
     Internetwork,
@@ -159,6 +160,12 @@ class MultiIspUnitRecord:
     #: The pre-coordination global MEL (identical on every record of a
     #: sweep; carried here so the reducer never needs to replay).
     initial_global_mel: float
+    #: Injected-fault outcome of this slot ("abort" / "deadline" /
+    #: "quarantined"), None on a clean slot. Trails the record fields so
+    #: pickled sweeps from before fault injection stay loadable.
+    fault: str | None = None
+    #: Flows force-re-routed by link failures severed at this slot.
+    n_rerouted: int = 0
 
 
 def _unit_record(result, round_index: int, edge_index: int) -> MultiIspUnitRecord:
@@ -367,6 +374,8 @@ def run_multi_isp_experiment(
     workers: int | None = None,
     checkpoint_dir=None,
     resume: bool = False,
+    max_retries: int | None = None,
+    retry_backoff: float | None = None,
 ) -> MultiIspExperimentResult:
     """Run the multi-ISP convergence sweep through the unified runner.
 
@@ -390,5 +399,6 @@ def run_multi_isp_experiment(
         transit_scale=transit_scale,
     )
     return SweepRunner(
-        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+        workers=workers, checkpoint_dir=checkpoint_dir, resume=resume,
+        **retry_kwargs(max_retries, retry_backoff),
     ).run(MULTI_ISP_SCENARIO, config, params)

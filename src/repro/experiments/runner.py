@@ -68,7 +68,26 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "run_scenario",
+    "retry_kwargs",
 ]
+
+
+def retry_kwargs(
+    max_retries: int | None = None, retry_backoff: float | None = None
+) -> dict:
+    """SweepRunner retry kwargs from optional CLI/driver overrides.
+
+    ``None`` means "keep the runner default" — the returned dict carries
+    only the explicitly-set knobs, so drivers can thread optional
+    ``max_retries`` / ``retry_backoff`` parameters without duplicating the
+    defaults.
+    """
+    kwargs: dict = {}
+    if max_retries is not None:
+        kwargs["max_retries"] = max_retries
+    if retry_backoff is not None:
+        kwargs["retry_backoff_s"] = retry_backoff
+    return kwargs
 
 
 @dataclass(frozen=True)
@@ -123,6 +142,7 @@ _SCENARIO_MODULES = (
     "repro.experiments.oscillation",
     "repro.experiments.extensions",
     "repro.experiments.internetwork",
+    "repro.experiments.robustness",
 )
 
 

@@ -39,6 +39,7 @@ skip the negotiation for that scope) rather than derive a table.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -95,34 +96,102 @@ class FailureModel:
             )
         if self.max_failed is not None and self.max_failed < 0:
             raise ConfigurationError("max_failed must be >= 0 or None")
-        probs = [self.link_probability]
-        if self.link_probabilities is not None:
-            probs.extend(self.link_probabilities)
-        if self.group_probabilities is not None:
-            if len(self.group_probabilities) != len(self.shared_risk_groups):
-                raise ConfigurationError(
-                    "group_probabilities must parallel shared_risk_groups "
-                    f"({len(self.group_probabilities)} probabilities for "
-                    f"{len(self.shared_risk_groups)} groups)"
-                )
-            probs.extend(self.group_probabilities)
-        bad = [p for p in probs if not 0.0 < p < 0.5]
-        if bad:
+        if self.group_probabilities is not None and len(
+            self.group_probabilities
+        ) != len(self.shared_risk_groups):
             raise ConfigurationError(
-                "failure probabilities must be in (0, 0.5) for the "
-                f"enumeration's pruning rule to hold, got {bad}"
+                "group_probabilities must parallel shared_risk_groups "
+                f"({len(self.group_probabilities)} probabilities for "
+                f"{len(self.shared_risk_groups)} groups)"
             )
-        seen: set[int] = set()
-        for group in self.shared_risk_groups:
+        # Name every offending probability: which field, which unit, what
+        # value (NaN/inf included — they fail the range comparison), in
+        # the same offender-naming style as the derive-path index checks.
+        offenders = [
+            f"{label}={p}"
+            for label, p in self._labelled_probabilities()
+            if math.isnan(p) or not 0.0 < p < 0.5
+        ]
+        if offenders:
+            raise ConfigurationError(
+                "failure probabilities must be finite and in (0, 0.5) for "
+                "the enumeration's pruning rule to hold; offending: "
+                + ", ".join(offenders)
+            )
+        seen: dict[int, int] = {}
+        for g, group in enumerate(self.shared_risk_groups):
             if not group:
-                raise ConfigurationError("shared-risk groups must be non-empty")
+                raise ConfigurationError(
+                    f"shared-risk group {g} is empty; groups must be "
+                    "non-empty"
+                )
             for col in group:
                 if col in seen:
                     raise ConfigurationError(
                         f"interconnection {col} appears in more than one "
-                        "shared-risk group"
+                        f"shared-risk group (groups {seen[col]} and {g})"
                     )
-                seen.add(col)
+                seen[col] = g
+
+    def _labelled_probabilities(self) -> list[tuple[str, float]]:
+        """Every configured probability with the name of its unit."""
+        labelled = [("link_probability", float(self.link_probability))]
+        for i, p in enumerate(self.link_probabilities or ()):
+            labelled.append((f"link_probabilities[{i}]", float(p)))
+        for g, p in enumerate(self.group_probabilities or ()):
+            labelled.append((f"group_probabilities[{g}]", float(p)))
+        return labelled
+
+    def restrict(self, surviving: "tuple[int, ...] | list[int]") -> "FailureModel":
+        """The model induced on a surviving-column subset, reindexed.
+
+        After columns are physically severed (a coordinator link-failure
+        fault), the remaining negotiation happens over a derived table
+        whose columns are ``surviving`` (ascending original indices). The
+        induced model keeps each surviving column's probability, maps
+        shared-risk groups onto their surviving members (a group whose
+        columns all died is dropped — it can no longer affect anything),
+        and preserves cutoff/max_failed.
+        """
+        surviving = sorted(int(c) for c in surviving)
+        if len(set(surviving)) != len(surviving):
+            raise ConfigurationError(
+                f"surviving columns contain duplicates: {surviving}"
+            )
+        if not surviving:
+            raise ConfigurationError(
+                "cannot restrict a failure model to zero surviving columns"
+            )
+        remap = {old: new for new, old in enumerate(surviving)}
+        link_probs = None
+        if self.link_probabilities is not None:
+            bad = [c for c in surviving if c >= len(self.link_probabilities)]
+            if bad:
+                raise ConfigurationError(
+                    f"surviving columns {bad} outside the model's "
+                    f"{len(self.link_probabilities)} link_probabilities"
+                )
+            link_probs = tuple(self.link_probabilities[c] for c in surviving)
+        groups: list[tuple[int, ...]] = []
+        group_probs: list[float] = []
+        for g, group in enumerate(self.shared_risk_groups):
+            kept = tuple(remap[c] for c in group if c in remap)
+            if not kept:
+                continue
+            groups.append(kept)
+            group_probs.append(
+                self.group_probabilities[g]
+                if self.group_probabilities is not None
+                else self.link_probability
+            )
+        return FailureModel(
+            link_probability=self.link_probability,
+            link_probabilities=link_probs,
+            shared_risk_groups=tuple(groups),
+            group_probabilities=tuple(group_probs) if groups else None,
+            cutoff=self.cutoff,
+            max_failed=self.max_failed,
+        )
 
     def risk_units(
         self, n_alternatives: int

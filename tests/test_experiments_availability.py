@@ -7,6 +7,8 @@ from dataclasses import replace
 
 import numpy as np
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.experiments.availability import (
@@ -18,6 +20,7 @@ from repro.experiments.availability import (
     value_at_risk,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.metrics.tail import cvar_matrix
 from repro.routing.scenarios import FailureModel
 
 
@@ -270,3 +273,105 @@ class TestAvailabilityAtScale:
         )
         assert parallel.pairs == serial.pairs
         assert serial.total_scenarios() >= 100
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties for the tail metrics (shared with the scenario-aware
+# evaluator via repro.metrics.tail)
+# ---------------------------------------------------------------------------
+
+
+_MEL = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def _weighted_distribution(draw):
+    """Integer-weighted finite-MEL distribution (weights 1..5, 1..8 atoms).
+
+    Integer weights make the distribution exactly replicable: repeating
+    each MEL ``w`` times gives an equal-mass sample of size ``N = sum(w)``
+    whose order statistics define the brute-force CVaR.
+    """
+    weights = draw(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=8)
+    )
+    mels = draw(
+        st.lists(_MEL, min_size=len(weights), max_size=len(weights))
+    )
+    return np.array(weights, dtype=float), np.array(mels, dtype=float)
+
+
+class TestTailMetricProperties:
+    """CVaR >= VaR and CVaR >= expected are pinned *separately*: VaR and
+    the mean are not ordered against each other in general, so the chain
+    ``CVaR >= VaR >= expected`` does not hold and is deliberately not
+    asserted."""
+
+    @given(dist=_weighted_distribution(), quantile=st.floats(0.05, 0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_cvar_dominates_var_and_the_mean(self, dist, quantile):
+        weights, mels = dist
+        probs = weights / weights.sum()
+        var = value_at_risk(probs, mels, 1.0, quantile)
+        cvar = conditional_value_at_risk(probs, mels, 1.0, quantile)
+        assert cvar >= var - 1e-9
+        assert cvar >= expected_mel(probs, mels) - 1e-9
+
+    @given(
+        dist=_weighted_distribution(),
+        quantiles=st.tuples(st.floats(0.05, 0.95), st.floats(0.05, 0.95)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_var_and_cvar_monotone_in_the_quantile(self, dist, quantiles):
+        weights, mels = dist
+        probs = weights / weights.sum()
+        q_lo, q_hi = sorted(quantiles)
+        assert value_at_risk(probs, mels, 1.0, q_hi) >= value_at_risk(
+            probs, mels, 1.0, q_lo
+        )
+        assert conditional_value_at_risk(
+            probs, mels, 1.0, q_hi
+        ) >= conditional_value_at_risk(probs, mels, 1.0, q_lo) - 1e-9
+
+    @given(dist=_weighted_distribution(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_atom_split_matches_integer_replication(self, dist, data):
+        """On atom boundaries the split CVaR equals the brute-force mean of
+        the ``k`` largest equal-mass replicated samples."""
+        weights, mels = dist
+        n = int(weights.sum())
+        assume(n >= 2)
+        k = data.draw(st.integers(min_value=1, max_value=n - 1), label="k")
+        replicated = np.repeat(mels, weights.astype(int))
+        brute = float(np.sort(replicated)[-k:].mean())
+        got = conditional_value_at_risk(weights / n, mels, 1.0, 1.0 - k / n)
+        assert got == pytest.approx(brute, rel=1e-6, abs=1e-6)
+
+    @given(
+        dist=_weighted_distribution(),
+        quantile=st.floats(0.05, 0.95),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cvar_matrix_matches_the_scalar_per_candidate(
+        self, dist, quantile, data
+    ):
+        weights, mels = dist
+        probs = weights / weights.sum()
+        n_atoms = mels.size
+        n_candidates = data.draw(st.integers(1, 3), label="n_candidates")
+        columns = data.draw(
+            st.lists(
+                st.lists(_MEL, min_size=n_atoms, max_size=n_atoms),
+                min_size=n_candidates,
+                max_size=n_candidates,
+            ),
+            label="columns",
+        )
+        values = np.array(columns, dtype=float).T  # (S, C)
+        got = cvar_matrix(values, probs, quantile)
+        for c in range(n_candidates):
+            want = conditional_value_at_risk(
+                probs, values[:, c], 1.0, quantile
+            )
+            assert got[c] == pytest.approx(want, rel=1e-6, abs=1e-6)
