@@ -38,12 +38,18 @@ from repro.core.evaluators import FortzCostEvaluator, LoadAwareEvaluator
 from repro.core.session import NegotiationSession, SessionConfig
 from repro.core.strategies import ReassignEveryFraction
 from repro.experiments.config import ExperimentConfig
-from repro.optimal.bandwidth_lp import _link_constraint_rows
+from repro.optimal.bandwidth_lp import _link_constraint_rows, solve_min_max_load_lp
 from repro.routing.costs import build_pair_cost_table
 from repro.routing.exits import early_exit_choices
-from repro.routing.flows import build_full_flowset
+from repro.routing.flows import Flow, FlowSet, build_full_flowset
 from repro.routing.paths import IntradomainRouting
+from repro.topology.builders import build_scale_pair
 from repro.topology.dataset import build_default_dataset
+
+#: The scale axis: synthetic grid pairs (PoPs per ISP) far beyond what the
+#: measured dataset provides, exercising the csgraph SSSP batch, the
+#: chunked table build, and the solver-interface LP at growing sizes.
+SCALE_PRESETS = {"small": 64, "medium": 144, "large": 256}
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
@@ -216,6 +222,86 @@ def _lp_assembly(table, caps_a, caps_b, engine: str):
     return assemble
 
 
+def _scale_flowset(pair, target_flows: int) -> FlowSet:
+    """An evenly strided sub-sampling of the pair's full (src, dst) space.
+
+    The scale pairs' full flowsets (n_pops² flows) would make the legacy
+    reference loops dominate the bench wall clock; a deterministic stride
+    keeps both engines' work proportional without biasing either.
+    """
+    n_b = pair.isp_b.n_pops()
+    total = pair.isp_a.n_pops() * n_b
+    stride = max(1, total // target_flows)
+    flows = [
+        Flow(index=index, src=k // n_b, dst=k % n_b, size=1.0)
+        for index, k in enumerate(range(0, total, stride))
+    ]
+    return FlowSet(pair, flows)
+
+
+def _sssp_batch_kernel(pair, engine: str):
+    """All-sources SSSP warm on one scale ISP, from a cold routing state.
+
+    A fresh :class:`IntradomainRouting` per run keeps the cache cold, so
+    the timing is the engine's actual batch cost: one csgraph call plus
+    predecessor-DP reconstruction versus per-source networkx Dijkstra.
+    """
+    sources = range(pair.isp_a.n_pops())
+
+    def run():
+        IntradomainRouting(pair.isp_a, engine=engine).warm(sources)
+
+    return run
+
+
+def _scale_kernels(benches: dict) -> None:
+    """Add the scale-axis kernels (one triple per SCALE_PRESETS entry)."""
+    for preset, n_pops in SCALE_PRESETS.items():
+        pair = build_scale_pair(n_pops, n_interconnections=6, seed=11)
+        flowset = _scale_flowset(pair, target_flows=400 + 12 * n_pops)
+        routing_a = IntradomainRouting(pair.isp_a)
+        routing_b = IntradomainRouting(pair.isp_b)
+        table = build_pair_cost_table(pair, flowset, routing_a, routing_b)
+        defaults = early_exit_choices(table)
+        caps_a = ProportionalCapacity().capacities(
+            link_loads(table, defaults, "a")
+        )
+        caps_b = ProportionalCapacity().capacities(
+            link_loads(table, defaults, "b")
+        )
+        table.incidence("a")
+        table.incidence("b")  # LP sub-tables arrive warm in the experiments
+
+        benches[f"sssp_batch_{preset}"] = (
+            _sssp_batch_kernel(pair, "csgraph"),
+            _sssp_batch_kernel(pair, "legacy"),
+            3,
+        )
+        benches[f"table_build_chunked_{preset}"] = (
+            lambda p=pair, f=flowset, ra=routing_a, rb=routing_b:
+                build_pair_cost_table(p, f, ra, rb, engine="chunked",
+                                      chunk_rows=512),
+            lambda p=pair, f=flowset, ra=routing_a, rb=routing_b:
+                build_pair_cost_table(p, f, ra, rb, engine="legacy"),
+            3,
+        )
+        # The LP the experiments actually solve per failure case: the
+        # affected-flows negotiation scope, not the full table (whose
+        # solve time would swamp the assembly difference and the CI
+        # budget alike).
+        lp_table = table.subset(np.flatnonzero(defaults == 0))
+        lp_table.incidence("a")
+        lp_table.incidence("b")
+        benches[f"lp_solver_{preset}"] = (
+            lambda t=lp_table, ca=caps_a, cb=caps_b:
+                solve_min_max_load_lp(t, ca, cb, engine="sparse",
+                                      solver="highs"),
+            lambda t=lp_table, ca=caps_a, cb=caps_b:
+                solve_min_max_load_lp(t, ca, cb, engine="legacy"),
+            3,
+        )
+
+
 def _best_of(fn, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
@@ -338,6 +424,7 @@ def main(output: Path = DEFAULT_OUTPUT, check: bool = False) -> dict:
             3,
         ),
     }
+    _scale_kernels(benches)
 
     results = {}
     for name, (vectorized, legacy, repeats) in benches.items():

@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import CapacityError
 from repro.routing.costs import PairCostTable
 from repro.routing.incidence import segment_max
+from repro.util.validation import validate_choice
 
 __all__ = ["link_loads", "pair_link_loads", "LoadTracker"]
 
@@ -44,9 +45,7 @@ def _validate_choices(table: PairCostTable, choices: np.ndarray) -> np.ndarray:
 
 
 def _validate_engine(engine: str) -> str:
-    if engine not in _ENGINES:
-        raise CapacityError(f"engine must be one of {_ENGINES}, got {engine!r}")
-    return engine
+    return validate_choice(engine, _ENGINES, "engine")
 
 
 def link_loads(

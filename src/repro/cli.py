@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.experiments.analysis import gain_by_interconnection_count
@@ -52,6 +53,8 @@ from repro.experiments.bandwidth import run_bandwidth_experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.distance import run_distance_experiment
 from repro.experiments.report import format_claims, format_series_table
+from repro.optimal.solver import available_lp_solvers
+from repro.routing.paths import SSSP_ENGINES
 
 __all__ = ["main", "build_parser"]
 
@@ -81,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment scale (default: quick)")
         p.add_argument("--seed", type=int, default=None,
                        help="override the workload seed")
+        p.add_argument("--lp-solver", default=None, metavar="NAME",
+                       choices=available_lp_solvers(),
+                       help="LP backend for every solved LP "
+                            "(default: highs; see repro.optimal.solver)")
+        p.add_argument("--routing-engine", default=None,
+                       choices=SSSP_ENGINES,
+                       help="intradomain SSSP engine (default: csgraph; "
+                            "legacy = per-source networkx)")
 
     def add_runner(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=None,
@@ -234,6 +245,13 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     config = _PRESETS[args.preset]()
     if args.seed is not None:
         config = config.with_seed(args.seed)
+    overrides = {}
+    if getattr(args, "lp_solver", None) is not None:
+        overrides["lp_solver"] = args.lp_solver
+    if getattr(args, "routing_engine", None) is not None:
+        overrides["routing_engine"] = args.routing_engine
+    if overrides:
+        config = replace(config, **overrides)
     return config
 
 

@@ -297,7 +297,10 @@ class MultiSessionCoordinator:
         self.quarantine_backoff_cap = quarantine_backoff_cap
 
         self._routings = {
-            isp.name: IntradomainRouting(isp) for isp in self.net.isps
+            isp.name: IntradomainRouting(
+                isp, engine=self.config.routing_engine
+            )
+            for isp in self.net.isps
         }
         self._tables = []
         self._defaults = []
@@ -632,6 +635,31 @@ class MultiSessionCoordinator:
             max_excess_load(loads_a, self._caps[edge.isp_a.name]),
             max_excess_load(loads_b, self._caps[edge.isp_b.name]),
         )
+
+    def optimal_edge_mel(self, edge_index: int) -> float:
+        """The fractional-LP lower bound on one edge's joint MEL.
+
+        Solves the Section 5.2 min-max-load LP over the edge's working
+        table (severances applied), with the rest of the internetwork's
+        current placements and transit as base load — the per-edge
+        analogue of the bandwidth experiment's globally optimal
+        comparator. The LP backend is ``config.lp_solver``.
+        """
+        from repro.optimal.bandwidth_lp import solve_min_max_load_lp
+
+        edge = self.net.edges[edge_index]
+        table, _ = self._working(edge_index)
+        base_a = self._isp_loads(edge.isp_a.name, exclude_edge=edge_index)
+        base_b = self._isp_loads(edge.isp_b.name, exclude_edge=edge_index)
+        lp = solve_min_max_load_lp(
+            table,
+            self._caps[edge.isp_a.name],
+            self._caps[edge.isp_b.name],
+            base_a,
+            base_b,
+            solver=self.config.lp_solver,
+        )
+        return float(lp.t)
 
     # -- fault machinery -------------------------------------------------------
 

@@ -68,6 +68,7 @@ from repro.routing.scenarios import (
     FailureScenarioSet,
     enumerate_failure_scenarios,
 )
+from repro.util.validation import validate_choice
 
 __all__ = [
     "ScenarioAwareEvaluator",
@@ -110,11 +111,7 @@ class ScenarioAwareEvaluator(LoadAwareEvaluator):
             raise ConfigurationError(
                 f"tail_quantile must be in (0, 1), got {tail_quantile}"
             )
-        if scenario_engine not in _SCENARIO_ENGINES:
-            raise ConfigurationError(
-                f"unknown scenario_engine {scenario_engine!r}; expected "
-                f"one of {_SCENARIO_ENGINES}"
-            )
+        validate_choice(scenario_engine, _SCENARIO_ENGINES, "scenario_engine")
         self.model = model
         self.tail_weight = float(tail_weight)
         self.tail_quantile = float(tail_quantile)

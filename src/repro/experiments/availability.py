@@ -81,6 +81,7 @@ from repro.routing.scenarios import (
 from repro.topology.interconnect import IspPair
 from repro.traffic.gravity import GravityWorkload
 from repro.util.cdf import Cdf
+from repro.util.validation import validate_choice
 
 __all__ = [
     "ScenarioOutcome",
@@ -233,11 +234,7 @@ def run_pair_availability(
     ``"legacy"`` folds per-column legacy drops per scenario instead —
     bit-identical by the derive contract, kept for the equivalence tests.
     """
-    if table_engine not in ("batch", "legacy"):
-        raise ConfigurationError(
-            f"unknown table_engine {table_engine!r}; "
-            "expected 'batch' or 'legacy'"
-        )
+    validate_choice(table_engine, ("batch", "legacy"), "table_engine")
     context = _build_context(pair, workload, provisioner)
     table_pre = context.table_pre
     scenario_set: FailureScenarioSet = enumerate_failure_scenarios(

@@ -160,9 +160,11 @@ def _build_context(
     pair: IspPair,
     workload,
     provisioner: ProportionalCapacity | None = None,
+    config: ExperimentConfig | None = None,
 ) -> _CaseContext:
-    routing_a = IntradomainRouting(pair.isp_a)
-    routing_b = IntradomainRouting(pair.isp_b)
+    engine = config.routing_engine if config is not None else "csgraph"
+    routing_a = IntradomainRouting(pair.isp_a, engine=engine)
+    routing_b = IntradomainRouting(pair.isp_b, engine=engine)
     size_fn = workload.size_fn(pair)
     flowset = build_full_flowset(pair, size_fn)
     table_pre = build_pair_cost_table(pair, flowset, routing_a, routing_b)
@@ -294,7 +296,7 @@ def run_pair_cases(
     of :func:`run_bandwidth_case` (``include_*``, ``derived_tables``,
     ``subset_engine``).
     """
-    context = _build_context(pair, workload, provisioner)
+    context = _build_context(pair, workload, provisioner, config)
     n_fail = pair.n_interconnections()
     if config.max_failures_per_pair is not None:
         n_fail = min(n_fail, config.max_failures_per_pair)
@@ -328,7 +330,7 @@ def run_bandwidth_case(
         workload = workload or GravityWorkload(
             PopulationModel(default_city_database())
         )
-        context = _build_context(context_or_pair, workload)
+        context = _build_context(context_or_pair, workload, config=config)
     else:
         context = context_or_pair
     pair = context.pair
@@ -407,7 +409,8 @@ def run_bandwidth_case(
 
     # Globally optimal (fractional LP over both ISPs).
     lp = solve_min_max_load_lp(
-        sub_table, context.caps_a, context.caps_b, base_a, base_b
+        sub_table, context.caps_a, context.caps_b, base_a, base_b,
+        solver=config.lp_solver,
     )
     mel_opt_a = max_excess_load(
         fractional_loads(sub_table, lp.fractions, "a", base_a), context.caps_a
@@ -445,7 +448,8 @@ def run_bandwidth_case(
 
     if include_unilateral:
         uni = solve_upstream_unilateral_lp(
-            sub_table, context.caps_a, context.caps_b, base_a, base_b
+            sub_table, context.caps_a, context.caps_b, base_a, base_b,
+            solver=config.lp_solver,
         )
         result.mel_unilateral_a = max_excess_load(
             fractional_loads(sub_table, uni.fractions, "a", base_a),

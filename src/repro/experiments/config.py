@@ -34,6 +34,12 @@ class ExperimentConfig:
         reassign_fraction: reassign preferences after each such fraction of
             traffic (paper: 0.05).
         seed: master seed for workloads and tie-breaking randomness.
+        lp_solver: registered LP backend name for every LP the experiment
+            solves ("highs" = the default scipy-HiGHS backend; see
+            :mod:`repro.optimal.solver`).
+        routing_engine: SSSP engine for intradomain routing ("csgraph" =
+            batched scipy.sparse.csgraph Dijkstra, "legacy" = per-source
+            networkx; bit-identical on tie-free topologies).
     """
 
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
@@ -44,8 +50,16 @@ class ExperimentConfig:
     ratio_unit: float = 0.1
     reassign_fraction: float = 0.05
     seed: int = 7
+    lp_solver: str = "highs"
+    routing_engine: str = "csgraph"
 
     def __post_init__(self) -> None:
+        from repro.optimal.solver import available_lp_solvers
+        from repro.routing.paths import SSSP_ENGINES
+        from repro.util.validation import validate_choice
+
+        validate_choice(self.lp_solver, available_lp_solvers(), "lp_solver")
+        validate_choice(self.routing_engine, SSSP_ENGINES, "routing_engine")
         if self.preference_p < 1:
             raise ConfigurationError("preference_p must be >= 1")
         if self.ratio_unit <= 0:

@@ -6,6 +6,17 @@ from repro.optimal.bandwidth_lp import (
     solve_min_max_load_lp,
 )
 from repro.optimal.distance_opt import optimal_distance_choices
+from repro.optimal.solver import (
+    DEFAULT_LP_SOLVER,
+    LpProblem,
+    LpSolution,
+    LpSolver,
+    ScipyLinprogSolver,
+    SolverCapabilities,
+    available_lp_solvers,
+    register_lp_solver,
+    resolve_lp_solver,
+)
 from repro.optimal.unilateral import solve_upstream_unilateral_lp
 
 __all__ = [
@@ -14,4 +25,13 @@ __all__ = [
     "solve_min_max_load_lp",
     "solve_upstream_unilateral_lp",
     "fractional_loads",
+    "DEFAULT_LP_SOLVER",
+    "LpProblem",
+    "LpSolution",
+    "LpSolver",
+    "ScipyLinprogSolver",
+    "SolverCapabilities",
+    "available_lp_solvers",
+    "register_lp_solver",
+    "resolve_lp_solver",
 ]

@@ -24,12 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 
 from repro.errors import OptimizationError
+from repro.optimal.solver import LpProblem, LpSolver, resolve_lp_solver
 from repro.routing.costs import PairCostTable
 from repro.routing.incidence import multirange_gather
+from repro.util.validation import validate_choice
 
 __all__ = ["LpRoutingResult", "solve_min_max_load_lp", "fractional_loads"]
 
@@ -37,11 +38,7 @@ _ASSEMBLY_ENGINES = ("sparse", "legacy")
 
 
 def _validate_assembly_engine(engine: str) -> str:
-    if engine not in _ASSEMBLY_ENGINES:
-        raise OptimizationError(
-            f"engine must be one of {_ASSEMBLY_ENGINES}, got {engine!r}"
-        )
-    return engine
+    return validate_choice(engine, _ASSEMBLY_ENGINES, "engine")
 
 
 @dataclass(frozen=True)
@@ -138,6 +135,7 @@ def solve_min_max_load_lp(
     base_b: np.ndarray | None = None,
     sides: tuple[str, ...] = ("a", "b"),
     engine: str = "sparse",
+    solver: str | LpSolver | None = None,
 ) -> LpRoutingResult:
     """Solve the fractional min-max-load LP over the given sides.
 
@@ -148,8 +146,14 @@ def solve_min_max_load_lp(
     ``engine`` selects the constraint assembler (see
     :func:`_link_constraint_rows`); the resulting LP is identical either
     way, so the flag is purely a performance/verification switch.
+
+    ``solver`` selects the LP backend by registry name (or an injected
+    :class:`~repro.optimal.solver.LpSolver` instance); ``None`` means the
+    default scipy-HiGHS backend, which is bit-identical to the historical
+    hardwired ``linprog`` call. See :mod:`repro.optimal.solver`.
     """
     _validate_assembly_engine(engine)
+    backend = resolve_lp_solver(solver)
     n_f, n_i = table.n_flows, table.n_alternatives
     caps_a = np.asarray(caps_a, dtype=float)
     caps_b = np.asarray(caps_b, dtype=float)
@@ -220,17 +224,19 @@ def solve_min_max_load_lp(
     c[t_col] = 1.0
     bounds = [(0.0, 1.0)] * n_x + [(0.0, None)]
 
-    result = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=bounds,
-        method="highs",
+    if not backend.capabilities.sparse_constraints:
+        a_ub = a_ub.toarray()
+        a_eq = a_eq.toarray()
+    result = backend.solve(
+        LpProblem(
+            c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+            bounds=tuple(bounds),
+        )
     )
-    if not result.success:
-        raise OptimizationError(f"min-max-load LP failed: {result.message}")
+    if not result.success or result.x is None:
+        raise OptimizationError(
+            f"min-max-load LP failed ({backend.name}): {result.message}"
+        )
     fractions = np.asarray(result.x[:n_x]).reshape(n_f, n_i)
     # Clean tiny numerical negatives and renormalize rows.
     fractions = np.clip(fractions, 0.0, None)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.optimal.bandwidth_lp import LpRoutingResult, solve_min_max_load_lp
+from repro.optimal.solver import LpSolver
 from repro.routing.costs import PairCostTable
 
 __all__ = ["solve_upstream_unilateral_lp"]
@@ -26,6 +27,7 @@ def solve_upstream_unilateral_lp(
     base_a: np.ndarray | None = None,
     base_b: np.ndarray | None = None,
     engine: str = "sparse",
+    solver: str | LpSolver | None = None,
 ) -> LpRoutingResult:
     """Minimize the maximum load ratio over *upstream* links only.
 
@@ -44,4 +46,5 @@ def solve_upstream_unilateral_lp(
         base_b=base_b,
         sides=("a",),
         engine=engine,
+        solver=solver,
     )

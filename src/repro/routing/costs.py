@@ -45,13 +45,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import RoutingError
+from repro.errors import ConfigurationError, RoutingError
 from repro.routing.flows import Flow, FlowSet
 from repro.routing.incidence import PathIncidence
 from repro.routing.paths import IntradomainRouting
 from repro.topology.interconnect import IspPair
+from repro.util.validation import validate_choice
 
-__all__ = ["PairCostTable", "build_pair_cost_table"]
+__all__ = [
+    "PairCostTable",
+    "build_pair_cost_table",
+    "iter_pair_cost_table_blocks",
+    "DEFAULT_CHUNK_ROWS",
+]
+
+#: Default flow-row block size for the chunked builder and block iterators.
+DEFAULT_CHUNK_ROWS = 2048
 
 
 def _validate_index_set(indices, n: int, what: str) -> np.ndarray:
@@ -214,10 +223,7 @@ class PairCostTable:
         graceful-degradation case (see
         :mod:`repro.routing.scenarios`).
         """
-        if engine not in _DROP_ENGINES:
-            raise RoutingError(
-                f"engine must be one of {_DROP_ENGINES}, got {engine!r}"
-            )
+        validate_choice(engine, _DROP_ENGINES, "engine")
         idx = _validate_index_set(
             failed_indices, self.n_alternatives, "alternative drop"
         )
@@ -322,10 +328,7 @@ class PairCostTable:
         Indices must be unique and within ``0..F-1``; out-of-range,
         negative and duplicate indices raise :class:`RoutingError`.
         """
-        if engine not in _SUBSET_ENGINES:
-            raise RoutingError(
-                f"engine must be one of {_SUBSET_ENGINES}, got {engine!r}"
-            )
+        validate_choice(engine, _SUBSET_ENGINES, "engine")
         idx = _validate_index_set(indices, self.n_flows, "subset flow")
         if engine == "legacy":
             sub_flowset = FlowSet(
@@ -379,6 +382,26 @@ class PairCostTable:
                     object.__setattr__(derived, attr, cached.subset_rows(idx))
         return derived
 
+    def iter_blocks(self, chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        """Yield this table as consecutive flow-row blocks.
+
+        Each block is a :meth:`subset` of at most ``chunk_rows`` consecutive
+        flows (so the last block may be short). Downstream kernels that
+        reduce over flows — load accumulation, preference scoring — can
+        stream a large table block by block instead of holding derived
+        per-flow state for all F rows at once. Blocks share this table's
+        storage (row-gathered views, aliased ragged rows) and are
+        bit-identical to the equivalent ``subset(np.arange(lo, hi))`` call.
+        """
+        chunk_rows = int(chunk_rows)
+        if chunk_rows < 1:
+            raise ConfigurationError(
+                f"chunk_rows must be >= 1, got {chunk_rows}"
+            )
+        for lo in range(0, self.n_flows, chunk_rows):
+            hi = min(lo + chunk_rows, self.n_flows)
+            yield self.subset(np.arange(lo, hi, dtype=np.intp))
+
     def validate(self) -> None:
         f, i = self.up_weight.shape
         for name in ("down_weight", "up_km", "down_km"):
@@ -391,9 +414,36 @@ class PairCostTable:
             raise RoutingError("link tables have wrong flow dimension")
 
 
-_BUILD_ENGINES = ("batched", "legacy")
+_BUILD_ENGINES = ("batched", "chunked", "legacy")
 _SUBSET_ENGINES = ("incidence", "legacy")
 _DROP_ENGINES = ("structural", "legacy")
+
+
+def _check_reachable(
+    pair: IspPair, arr: np.ndarray, what: str, side_isp: str, pops: np.ndarray
+) -> None:
+    """Reject non-finite routed distances, naming the pair and the PoPs.
+
+    A disconnected (or inf-weighted) src/dst PoP would otherwise propagate
+    NaN/inf silently into the table and poison every downstream kernel.
+    """
+    bad_rows = ~np.isfinite(arr).all(axis=1)
+    if bad_rows.any():
+        bad = sorted(set(np.asarray(pops)[bad_rows].tolist()))
+        raise RoutingError(
+            f"pair {pair.name}: {side_isp}: {what} PoPs {bad} are "
+            "unreachable from an interconnection (non-finite routed "
+            "distance)"
+        )
+
+
+def _validate_chunk_rows(chunk_rows: int | None) -> int:
+    if chunk_rows is None:
+        return DEFAULT_CHUNK_ROWS
+    chunk_rows = int(chunk_rows)
+    if chunk_rows < 1:
+        raise ConfigurationError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    return chunk_rows
 
 
 def build_pair_cost_table(
@@ -402,6 +452,7 @@ def build_pair_cost_table(
     routing_a: IntradomainRouting | None = None,
     routing_b: IntradomainRouting | None = None,
     engine: str = "batched",
+    chunk_rows: int | None = None,
 ) -> PairCostTable:
     """Build the cost table for ``flowset`` over ``pair`` (direction A->B).
 
@@ -411,16 +462,24 @@ def build_pair_cost_table(
 
     ``engine="batched"`` (default) fills the (F, I) arrays column by column
     from each interconnection's dense per-PoP SSSP views — one gather per
-    column instead of F·I per-cell routing queries. ``engine="legacy"``
-    keeps the original cell-by-cell loop; both produce bit-identical
-    tables (the per-PoP views are exactly the per-cell floats).
+    column instead of F·I per-cell routing queries. ``engine="chunked"``
+    fills the same preallocated arrays in flow-row blocks of at most
+    ``chunk_rows`` (default :data:`DEFAULT_CHUNK_ROWS`), bounding the
+    intermediate per-block state; for a table that should never fully
+    materialize, use :func:`iter_pair_cost_table_blocks` instead.
+    ``engine="legacy"`` keeps the original cell-by-cell loop. All three
+    produce bit-identical tables (the per-PoP views are exactly the
+    per-cell floats, and chunked fills are the same gathers split by row
+    range).
+
+    Disconnected src/dst PoPs raise :class:`RoutingError` naming the pair
+    and the offending PoPs instead of letting non-finite distances into
+    the table.
     """
     if flowset.pair is not pair and flowset.pair.name != pair.name:
         raise RoutingError("flowset was built for a different pair")
-    if engine not in _BUILD_ENGINES:
-        raise RoutingError(
-            f"engine must be one of {_BUILD_ENGINES}, got {engine!r}"
-        )
+    validate_choice(engine, _BUILD_ENGINES, "engine")
+    chunk_rows = _validate_chunk_rows(chunk_rows)
     routing_a = routing_a or IntradomainRouting(pair.isp_a)
     routing_b = routing_b or IntradomainRouting(pair.isp_b)
 
@@ -465,24 +524,28 @@ def build_pair_cost_table(
     else:
         srcs = flowset.srcs()
         dsts = flowset.dsts()
-        links_up_cols: list[tuple[np.ndarray | None, ...]] = []
-        links_down_cols: list[tuple[np.ndarray | None, ...]] = []
-        for i, ic in enumerate(ics):
-            up_weight[:, i] = routing_a.weight_distance_array(ic.pop_a)[srcs]
-            up_km[:, i] = routing_a.geo_distance_array(ic.pop_a)[srcs]
-            links_up_cols.append(routing_a.path_links_array(ic.pop_a))
-            down_weight[:, i] = routing_b.weight_distance_array(ic.pop_b)[dsts]
-            down_km[:, i] = routing_b.geo_distance_array(ic.pop_b)[dsts]
-            links_down_cols.append(routing_b.path_links_array(ic.pop_b))
-        for name, side_isp, arr in (
-            ("source", pair.isp_a.name, up_weight),
-            ("destination", pair.isp_b.name, down_weight),
-        ):
-            if np.isnan(arr).any():
-                raise RoutingError(
-                    f"{side_isp}: some {name} PoPs are unreachable from an "
-                    "interconnection"
-                )
+        links_up_cols = [routing_a.path_links_array(ic.pop_a) for ic in ics]
+        links_down_cols = [routing_b.path_links_array(ic.pop_b) for ic in ics]
+        up_w_views = [routing_a.weight_distance_array(ic.pop_a) for ic in ics]
+        up_k_views = [routing_a.geo_distance_array(ic.pop_a) for ic in ics]
+        dn_w_views = [routing_b.weight_distance_array(ic.pop_b) for ic in ics]
+        dn_k_views = [routing_b.geo_distance_array(ic.pop_b) for ic in ics]
+        block = chunk_rows if engine == "chunked" else max(n_f, 1)
+        for lo in range(0, n_f, block):
+            hi = min(lo + block, n_f)
+            src_blk = srcs[lo:hi]
+            dst_blk = dsts[lo:hi]
+            for i in range(n_i):
+                up_weight[lo:hi, i] = up_w_views[i][src_blk]
+                up_km[lo:hi, i] = up_k_views[i][src_blk]
+                down_weight[lo:hi, i] = dn_w_views[i][dst_blk]
+                down_km[lo:hi, i] = dn_k_views[i][dst_blk]
+            _check_reachable(
+                pair, up_weight[lo:hi], "source", pair.isp_a.name, src_blk
+            )
+            _check_reachable(
+                pair, down_weight[lo:hi], "destination", pair.isp_b.name, dst_blk
+            )
         up_links = tuple(
             tuple(links_up_cols[i][src] for i in range(n_i))
             for src in srcs.tolist()
@@ -505,3 +568,85 @@ def build_pair_cost_table(
     )
     table.validate()
     return table
+
+
+def iter_pair_cost_table_blocks(
+    pair: IspPair,
+    flowset: FlowSet,
+    chunk_rows: int | None = None,
+    routing_a: IntradomainRouting | None = None,
+    routing_b: IntradomainRouting | None = None,
+):
+    """Stream the cost table as independent flow-row block tables.
+
+    The bounded-memory build path for production-scale pairs: instead of
+    materializing the full (F, I) table, yields one :class:`PairCostTable`
+    per consecutive block of at most ``chunk_rows`` flows (default
+    :data:`DEFAULT_CHUNK_ROWS`), built directly from the shared per-source
+    SSSP views. Only one block's (chunk, I) arrays exist at a time; the
+    per-source dense views are O(n_pops) each and shared across blocks.
+
+    Each yielded block is bit-identical to
+    ``build_pair_cost_table(...).subset(np.arange(lo, hi))`` — same
+    gathers, same aliased ragged rows, same reindexed flowset view.
+    Reachability failures raise :class:`RoutingError` naming the pair, at
+    the first block that touches a disconnected PoP.
+    """
+    if flowset.pair is not pair and flowset.pair.name != pair.name:
+        raise RoutingError("flowset was built for a different pair")
+    chunk_rows = _validate_chunk_rows(chunk_rows)
+    routing_a = routing_a or IntradomainRouting(pair.isp_a)
+    routing_b = routing_b or IntradomainRouting(pair.isp_b)
+
+    ics = pair.interconnections
+    n_f, n_i = len(flowset), len(ics)
+    ic_km = np.asarray([ic.length_km for ic in ics], dtype=float)
+    routing_a.warm([ic.pop_a for ic in ics])
+    routing_b.warm([ic.pop_b for ic in ics])
+
+    srcs = flowset.srcs()
+    dsts = flowset.dsts()
+    links_up_cols = [routing_a.path_links_array(ic.pop_a) for ic in ics]
+    links_down_cols = [routing_b.path_links_array(ic.pop_b) for ic in ics]
+    up_w_views = [routing_a.weight_distance_array(ic.pop_a) for ic in ics]
+    up_k_views = [routing_a.geo_distance_array(ic.pop_a) for ic in ics]
+    dn_w_views = [routing_b.weight_distance_array(ic.pop_b) for ic in ics]
+    dn_k_views = [routing_b.geo_distance_array(ic.pop_b) for ic in ics]
+
+    for lo in range(0, n_f, chunk_rows):
+        hi = min(lo + chunk_rows, n_f)
+        rows = hi - lo
+        src_blk = srcs[lo:hi]
+        dst_blk = dsts[lo:hi]
+        up_weight = np.zeros((rows, n_i))
+        down_weight = np.zeros((rows, n_i))
+        up_km = np.zeros((rows, n_i))
+        down_km = np.zeros((rows, n_i))
+        for i in range(n_i):
+            up_weight[:, i] = up_w_views[i][src_blk]
+            up_km[:, i] = up_k_views[i][src_blk]
+            down_weight[:, i] = dn_w_views[i][dst_blk]
+            down_km[:, i] = dn_k_views[i][dst_blk]
+        _check_reachable(pair, up_weight, "source", pair.isp_a.name, src_blk)
+        _check_reachable(
+            pair, down_weight, "destination", pair.isp_b.name, dst_blk
+        )
+        block = PairCostTable(
+            pair=pair,
+            flowset=flowset._subset_view(np.arange(lo, hi, dtype=np.intp)),
+            up_weight=up_weight,
+            down_weight=down_weight,
+            up_km=up_km,
+            down_km=down_km,
+            ic_km=ic_km.copy(),
+            up_links=tuple(
+                tuple(links_up_cols[i][src] for i in range(n_i))
+                for src in src_blk.tolist()
+            ),
+            down_links=tuple(
+                tuple(links_down_cols[i][dst] for i in range(n_i))
+                for dst in dst_blk.tolist()
+            ),
+        )
+        block.validate()
+        yield block

@@ -5,8 +5,22 @@ Section 5.1 is measured over the geographic *length* of the chosen path —
 the same split the paper inherits from Rocketfuel, whose inferred weights
 approximate but do not equal geographic distance.
 
-Paths are computed lazily per source with Dijkstra and cached; an ISP with
-``k`` interconnections only ever needs ``k + |sources|`` single-source runs.
+Two SSSP engines fill the per-source caches:
+
+- ``"csgraph"`` (default) runs one batched ``scipy.sparse.csgraph.dijkstra``
+  call over the ISP's compiled CSR link graph for all missing sources, then
+  reconstructs distances and paths from the predecessor matrix by dynamic
+  programming in ascending-distance order. Because both engines accumulate
+  ``d[pred] + w`` along the same shortest-path tree, results are
+  bit-identical to ``"legacy"`` whenever shortest paths are unique (the
+  repo's jittered continuous weights guarantee this; equal-cost ties may
+  legitimately route differently between engines).
+- ``"legacy"`` runs networkx ``single_source_dijkstra`` per source, exactly
+  as before.
+
+Either way, paths are computed lazily and cached; an ISP with ``k``
+interconnections only ever needs ``k + |sources|`` single-source runs, and
+``warm()`` batches them into a single csgraph call.
 """
 
 from __future__ import annotations
@@ -15,17 +29,23 @@ from typing import Sequence
 
 import networkx as nx
 import numpy as np
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.errors import RoutingError
 from repro.topology.isp import ISPTopology
+from repro.util.validation import validate_choice
 
-__all__ = ["IntradomainRouting"]
+__all__ = ["IntradomainRouting", "SSSP_ENGINES"]
+
+SSSP_ENGINES = ("csgraph", "legacy")
 
 
 class IntradomainRouting:
     """Shortest-path routing state for one ISP, with per-source caching."""
 
-    def __init__(self, isp: ISPTopology):
+    def __init__(self, isp: ISPTopology, engine: str = "csgraph"):
+        validate_choice(engine, SSSP_ENGINES, "engine")
+        self._engine = engine
         self._isp = isp
         # src -> (weight-dist dict, path dict)
         self._sssp_cache: dict[int, tuple[dict[int, float], dict[int, list[int]]]] = {}
@@ -39,6 +59,15 @@ class IntradomainRouting:
         self._link_lengths = np.asarray(
             [link.length_km for link in isp.links], dtype=float
         )
+        # link index -> routing weight, mirrored from the topology so the
+        # csgraph DP accumulates the exact Python floats nx reads off the
+        # graph's edge attributes.
+        self._link_weights = np.asarray(
+            [link.weight for link in isp.links], dtype=float
+        )
+        # (u, v) -> link index for both orientations, built on first
+        # csgraph reconstruction.
+        self._edge_links: dict[tuple[int, int], int] | None = None
         # src -> dense per-PoP views for the batched table builder
         self._weight_array_cache: dict[int, np.ndarray] = {}
         self._geo_array_cache: dict[int, np.ndarray] = {}
@@ -48,16 +77,82 @@ class IntradomainRouting:
     def isp(self) -> ISPTopology:
         return self._isp
 
+    @property
+    def engine(self) -> str:
+        return self._engine
+
     # -- internals ----------------------------------------------------------
 
     def _sssp(self, src: int) -> tuple[dict[int, float], dict[int, list[int]]]:
         if src not in self._sssp_cache:
             self._isp.pop(src)  # validates the index
-            dists, paths = nx.single_source_dijkstra(
-                self._isp.graph, src, weight="weight"
-            )
-            self._sssp_cache[src] = (dists, paths)
+            if self._engine == "csgraph":
+                self._sssp_batch([src])
+            else:
+                dists, paths = nx.single_source_dijkstra(
+                    self._isp.graph, src, weight="weight"
+                )
+                self._sssp_cache[src] = (dists, paths)
         return self._sssp_cache[src]
+
+    def _edge_link_map(self) -> dict[tuple[int, int], int]:
+        if self._edge_links is None:
+            mapping: dict[tuple[int, int], int] = {}
+            for link in self._isp.links:
+                mapping[(link.u, link.v)] = link.index
+                mapping[(link.v, link.u)] = link.index
+            self._edge_links = mapping
+        return self._edge_links
+
+    def _sssp_batch(self, sources: Sequence[int]) -> None:
+        """Fill the SSSP cache for every missing source in one csgraph call.
+
+        The predecessor matrix is turned back into the exact ``(dists,
+        paths)`` dicts the legacy engine caches: processing destinations in
+        ascending-distance order (strictly positive weights put every
+        predecessor before its children) lets each entry be derived from
+        its predecessor's — ``d[dst] = d[pred] + w`` is the same
+        left-associated accumulation both Dijkstra implementations
+        perform, so cached floats match the legacy engine bit for bit.
+        """
+        missing: list[int] = []
+        for src in sources:
+            if src not in self._sssp_cache and src not in missing:
+                self._isp.pop(src)  # validates the index
+                missing.append(src)
+        if not missing:
+            return
+        dist_rows, pred_rows = _csgraph_dijkstra(
+            self._isp.link_csr(),
+            directed=True,
+            indices=missing,
+            return_predecessors=True,
+        )
+        dist_rows = np.atleast_2d(dist_rows)
+        pred_rows = np.atleast_2d(pred_rows)
+        edge_links = self._edge_link_map()
+        # Ascending-distance visit order and reachable counts for the whole
+        # batch in one vectorized pass; .tolist() hoists the per-element
+        # numpy-scalar conversions out of the DP loop (exact float values
+        # either way).
+        order_rows = np.argsort(dist_rows, axis=1, kind="stable")
+        finite_counts = np.isfinite(dist_rows).sum(axis=1).tolist()
+        pred_lists = pred_rows.tolist()
+        weights = self._link_weights.tolist()
+        for row, src in enumerate(missing):
+            pred_row = pred_lists[row]
+            dists: dict[int, float] = {}
+            paths: dict[int, list[int]] = {}
+            for dst in order_rows[row, : finite_counts[row]].tolist():
+                if dst == src:
+                    dists[src] = 0.0
+                    paths[src] = [src]
+                    continue
+                pred = pred_row[dst]
+                link = edge_links[(pred, dst)]
+                dists[dst] = dists[pred] + weights[link]
+                paths[dst] = paths[pred] + [dst]
+            self._sssp_cache[src] = (dists, paths)
 
     # -- public API -----------------------------------------------------------
 
@@ -114,9 +209,16 @@ class IntradomainRouting:
         return dict(dists)
 
     def warm(self, sources: Sequence[int]) -> None:
-        """Pre-compute SSSP state for the given sources (optional)."""
-        for src in sources:
-            self._sssp(src)
+        """Pre-compute SSSP state for the given sources (optional).
+
+        Under the csgraph engine all missing sources share one batched
+        Dijkstra call; the legacy engine runs them one by one.
+        """
+        if self._engine == "csgraph":
+            self._sssp_batch(list(sources))
+        else:
+            for src in sources:
+                self._sssp(src)
 
     # -- batched per-source views (the column-fill table builder) -------------
 

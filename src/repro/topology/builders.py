@@ -7,7 +7,10 @@ are also convenient fixtures for unit tests.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import TopologyError
 from repro.geo.coords import GeoPoint
@@ -19,6 +22,7 @@ __all__ = [
     "build_custom_isp",
     "build_line_isp",
     "build_mesh_isp",
+    "build_scale_pair",
     "Figure1Scenario",
     "build_figure1_pair",
     "Figure2Scenario",
@@ -92,6 +96,77 @@ def build_mesh_isp(
         (u, v, 1.0) for u in range(len(cities)) for v in range(u + 1, len(cities))
     ]
     return build_custom_isp(name, pop_specs, link_specs)
+
+
+def build_scale_pair(
+    n_pops: int,
+    n_interconnections: int = 8,
+    seed: int = 0,
+) -> IspPair:
+    """A deterministic synthetic pair with ``n_pops`` PoPs per ISP.
+
+    The measured city database tops out at ~136 cities, so
+    production-scale tests and benches build their pairs here instead:
+    both ISPs are near-square grid topologies over the same synthetic
+    city set (interconnection cities therefore exist on both sides), with
+    per-ISP jittered continuous link weights drawn deterministically from
+    ``seed``. Continuous jitter makes every shortest path unique, which
+    keeps the csgraph and legacy SSSP engines bit-identical (equal-cost
+    ties are the one case where they may legitimately differ).
+
+    ``n_interconnections`` evenly spaced grid cities peer the two sides
+    at the same PoP index on both.
+    """
+    if n_pops < 2:
+        raise TopologyError(f"scale pair needs >= 2 PoPs, got {n_pops}")
+    if not 1 <= n_interconnections <= n_pops:
+        raise TopologyError(
+            f"n_interconnections must be in 1..{n_pops}, "
+            f"got {n_interconnections}"
+        )
+    side = math.ceil(math.sqrt(n_pops))
+    pop_specs = []
+    for i in range(n_pops):
+        r, c = divmod(i, side)
+        pop_specs.append(
+            (f"Grid{r:03d}x{c:03d}", 25.0 + 0.4 * r, -120.0 + 0.4 * c)
+        )
+    edges = []
+    for i in range(n_pops):
+        r, c = divmod(i, side)
+        if c + 1 < side and i + 1 < n_pops:
+            edges.append((i, i + 1))
+        if i + side < n_pops:
+            edges.append((i, i + side))
+
+    rng = np.random.default_rng(seed)
+
+    def one_side(name: str) -> ISPTopology:
+        jitter = rng.uniform(0.0, 25.0, size=len(edges))
+        link_specs = [
+            (u, v, 100.0 + float(jitter[k])) for k, (u, v) in enumerate(edges)
+        ]
+        return build_custom_isp(name, pop_specs, link_specs)
+
+    isp_a = one_side(f"scale{n_pops}a")
+    isp_b = one_side(f"scale{n_pops}b")
+    ic_pops = sorted(
+        set(
+            int(round(x))
+            for x in np.linspace(0, n_pops - 1, n_interconnections)
+        )
+    )
+    ics = [
+        Interconnection(
+            index=k,
+            city=pop_specs[p][0],
+            pop_a=p,
+            pop_b=p,
+            length_km=0.0,
+        )
+        for k, p in enumerate(ic_pops)
+    ]
+    return IspPair(isp_a, isp_b, ics)
 
 
 # ---------------------------------------------------------------------------

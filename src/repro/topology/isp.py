@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import networkx as nx
+import numpy as np
+import scipy.sparse
 
 from repro.errors import TopologyError
 from repro.geo.coords import great_circle_km
@@ -41,6 +43,7 @@ class ISPTopology:
         self._graph = self._build_graph()
         self._validate_connected()
         self._pop_by_city = {pop.city: pop for pop in self._pops}
+        self._link_csr: scipy.sparse.csr_matrix | None = None
 
     # -- construction helpers ---------------------------------------------
 
@@ -142,6 +145,36 @@ class ISPTopology:
         if data is None:
             raise TopologyError(f"ISP {self._name!r}: no link between {u} and {v}")
         return self._links[data["link_index"]]
+
+    def link_csr(self) -> scipy.sparse.csr_matrix:
+        """Symmetric CSR adjacency over link weights, compiled once per ISP.
+
+        This is the graph the batched :mod:`scipy.sparse.csgraph` SSSP
+        engine runs over. Weights must be strictly positive: csgraph
+        treats stored zeros as absent edges, so a zero-weight link would
+        silently vanish from the routed graph.
+        """
+        if self._link_csr is None:
+            for link in self._links:
+                if not link.weight > 0:
+                    raise TopologyError(
+                        f"ISP {self._name!r}: link {link.index} has non-positive "
+                        f"weight {link.weight}; link_csr() requires weights > 0"
+                    )
+            n = self.n_pops()
+            u = np.asarray([link.u for link in self._links], dtype=np.intp)
+            v = np.asarray([link.v for link in self._links], dtype=np.intp)
+            w = np.asarray([link.weight for link in self._links], dtype=float)
+            matrix = scipy.sparse.coo_matrix(
+                (
+                    np.concatenate([w, w]),
+                    (np.concatenate([u, v]), np.concatenate([v, u])),
+                ),
+                shape=(n, n),
+            ).tocsr()
+            matrix.data.setflags(write=False)
+            self._link_csr = matrix
+        return self._link_csr
 
     # -- derived properties --------------------------------------------------
 

@@ -12,7 +12,23 @@ __all__ = [
     "check_non_negative",
     "check_in_range",
     "check_probability",
+    "validate_choice",
 ]
+
+
+def validate_choice(value, choices, name: str):
+    """The one engine-/backend-selection convention of the library.
+
+    Every API that exposes a backend choice (``engine=``, ``solver=``,
+    ``table_engine=``, ...) validates it here: an unknown value raises
+    :class:`ConfigurationError` naming the parameter and the allowed
+    values. Returns ``value`` unchanged so call sites can validate inline.
+    """
+    if value not in choices:
+        raise ConfigurationError(
+            f"{name} must be one of {tuple(choices)}, got {value!r}"
+        )
+    return value
 
 
 def check_finite(value: float, name: str) -> float:

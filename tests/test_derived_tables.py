@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import RoutingError, TrafficError
+from repro.errors import ConfigurationError, RoutingError, TrafficError
 from repro.experiments.bandwidth import (
     _build_context,
     run_bandwidth_case,
@@ -156,7 +156,7 @@ class TestBatchedBuild:
 
     def test_unknown_engine_rejected(self, bandwidth_fixture):
         _, pair, _, _ = bandwidth_fixture
-        with pytest.raises(RoutingError):
+        with pytest.raises(ConfigurationError):
             build_pair_cost_table(pair, build_full_flowset(pair), engine="nope")
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.capacity.loads import link_loads
-from repro.errors import OptimizationError
+from repro.errors import ConfigurationError, OptimizationError
 from repro.metrics.mel import max_excess_load
 from repro.optimal.bandwidth_lp import (
     LpRoutingResult,
@@ -188,9 +188,9 @@ class TestAssemblyEquivalence:
                 )
 
     def test_unknown_engine_rejected(self, table, caps):
-        with pytest.raises(OptimizationError):
+        with pytest.raises(ConfigurationError):
             solve_min_max_load_lp(table, *caps, engine="nope")
-        with pytest.raises(OptimizationError):
+        with pytest.raises(ConfigurationError):
             fractional_loads(
                 table,
                 np.ones((table.n_flows, table.n_alternatives)),

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import RoutingError
+from repro.errors import ConfigurationError, RoutingError
 from repro.routing.costs import build_pair_cost_table
 from repro.routing.flows import Flow, FlowSet, build_full_flowset
 from repro.routing.paths import IntradomainRouting
@@ -112,7 +112,7 @@ class TestSubsetValidation:
             table.subset(np.array([[0], [1]]))
 
     def test_unknown_engine_rejected(self, table):
-        with pytest.raises(RoutingError, match="engine"):
+        with pytest.raises(ConfigurationError, match="engine"):
             table.subset(np.array([0]), engine="nope")
 
     @pytest.mark.parametrize("engine", ["incidence", "legacy"])

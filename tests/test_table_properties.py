@@ -368,7 +368,7 @@ def test_named_drop_cases(ks):
 
 
 def test_drop_validation_unified_with_subset():
-    from repro.errors import RoutingError
+    from repro.errors import ConfigurationError, RoutingError
 
     table = _warm_parent()
     with pytest.raises(RoutingError, match="duplicates"):
@@ -381,7 +381,7 @@ def test_drop_validation_unified_with_subset():
         table.without_alternatives([0, 1, 2])
     with pytest.raises(RoutingError, match="must be in 0"):
         table.without_alternative(7)
-    with pytest.raises(RoutingError, match="engine"):
+    with pytest.raises(ConfigurationError, match="engine"):
         table.without_alternatives([0], engine="nope")
     with pytest.raises(RoutingError, match="every alternative"):
         table.batch_without_alternatives([[0], [0, 1, 2]])
