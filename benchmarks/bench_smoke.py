@@ -177,6 +177,54 @@ def _scope_setup(table, engine: str):
     return setup
 
 
+def _multi_isp_round_setup(config: ExperimentConfig):
+    """A coordination round's post-severance transit refresh, delta vs full.
+
+    The multi-ISP coordinator's hot recompute path: a link failure severs
+    one interconnection column, and every ISP's transit background must be
+    brought current before the next color class runs. The incremental
+    engine re-derives only the chains actually crossing the severed edge
+    (:meth:`~repro.routing.interdomain.TransitLoadIndex.loads_after`); the
+    legacy engine re-walks every transit demand through the internetwork.
+    Both sides deliver the identical per-ISP load arrays (asserted once at
+    setup), so the timings compare equal amounts of delivered state.
+    """
+    from repro.core.multi_session import MultiSessionCoordinator
+    from repro.topology.generator import GeneratorConfig
+    from repro.topology.internetwork import (
+        InternetworkConfig,
+        build_internetwork,
+    )
+
+    net = build_internetwork(InternetworkConfig(
+        n_isps=8, shape="random", seed=9,
+        generator=GeneratorConfig(min_pops=6, max_pops=10),
+    ))
+    coordinator = MultiSessionCoordinator(
+        net, config=config, transit_scale=3.0,
+        transit_engine="incremental",
+    )
+    index = coordinator._transit_index
+    # A representative severance: the crossed edge with the smallest
+    # crossing set (a failure rarely lands on the busiest transit artery).
+    edge = min(
+        (e for e in range(net.n_edges()) if index.crossing(e)),
+        key=lambda e: len(index.crossing(e)),
+    )
+    column = 0
+
+    def fast():
+        return index.loads_after(edge, (column,))
+
+    def legacy():
+        return coordinator._transit_loads(blocked={edge: {column}})
+
+    after_fast, after_legacy = fast(), legacy()
+    for name in after_fast:
+        assert np.array_equal(after_fast[name], after_legacy[name])
+    return fast, legacy
+
+
 def _warm_start_setup(config: ExperimentConfig, warm: bool):
     """One sweep worker's dataset acquisition, with vs. without warm start.
 
@@ -424,6 +472,7 @@ def main(output: Path = DEFAULT_OUTPUT, check: bool = False) -> dict:
             3,
         ),
     }
+    benches["multi_isp_round"] = (*_multi_isp_round_setup(config), 5)
     _scale_kernels(benches)
 
     results = {}

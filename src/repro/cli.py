@@ -184,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable inter-domain transit background")
     p_multi.add_argument("--transit-scale", type=float, default=3.0,
                          help="mean per-PoP transit demand (default: 3.0)")
+    p_multi.add_argument("--transit-engine",
+                         choices=("incremental", "legacy"),
+                         default="incremental",
+                         help="transit load backend; both are bit-identical "
+                              "(default: incremental)")
+    p_multi.add_argument("--coord-workers", type=int, default=None,
+                         metavar="W",
+                         help="processes per color class inside each "
+                              "coordination round (-1: all cores; "
+                              "default: serial)")
 
     p_robust = sub.add_parser(
         "robust",
@@ -418,6 +428,8 @@ def _run_multi_isp(args: argparse.Namespace, out) -> int:
         order=args.order,
         include_transit=not args.no_transit,
         transit_scale=args.transit_scale,
+        transit_engine=args.transit_engine,
+        coord_workers=args.coord_workers,
         **_runner_kwargs(args),
     )
     print(f"internetwork: {len(result.isp_names)} ISPs "

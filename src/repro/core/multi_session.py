@@ -48,11 +48,37 @@ of rounds. With a ``failure_model``, agents negotiate with
 the (nominal, CVaR_q) MEL pair per endpoint, so availability cannot
 silently regress. An empty plan with no model is bit-identical to the
 fault-free path (pinned by the fault tests).
+
+Concurrency (PR 9): a round is no longer a flat edge walk but a *colored
+schedule* — the peering line-graph is greedy-colored with a seeded,
+platform-stable order (:mod:`repro.core.coloring`; two edges conflict iff
+they share a member ISP) and the round executes the color classes in
+sequence, edges ascending within a class. Edges in one class share no
+ISP, so every one of them observes the same frozen base-load snapshot
+whether its classmates have negotiated yet or not; ``coord_workers`` runs
+a class's sessions on a fork-inherited :class:`ProcessPoolExecutor`
+(mutable per-edge state travels in the payload, warm tables by fork) and
+adoptions drain in deterministic edge order afterwards, so parallel
+execution is bit-identical to the canonical serial schedule — a round
+scales with the number of colors, not edges. ``transit_engine=
+"incremental"`` keeps a :class:`~repro.routing.interdomain.TransitLoadIndex`
+so a severance re-routes only the transit demands crossing the failed
+edge (``"legacy"`` re-derives all of them; both pinned bit-identical).
+``run()`` also instruments convergence: per-round potential (global MEL,
+flows moved), per-color/per-edge wall timings, and oscillation detection
+— a round that moves flows yet lands on a previously seen global
+assignment fingerprint warns :class:`CoordinationOscillationWarning` and
+stops with ``stop_reason="oscillating"``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import logging
+import multiprocessing
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,6 +86,7 @@ import numpy as np
 from repro.capacity.loads import link_loads
 from repro.capacity.provisioning import ProportionalCapacity
 from repro.core.agent import NegotiationAgent
+from repro.core.coloring import EdgeColoring, color_peering_edges
 from repro.core.evaluators import LoadAwareEvaluator
 from repro.core.faults import FaultPlan
 from repro.core.outcomes import TerminationReason
@@ -70,7 +97,11 @@ from repro.core.scenario_aware import (
 )
 from repro.core.session import NegotiationSession, SessionConfig
 from repro.core.strategies import ReassignEveryFraction
-from repro.errors import ConfigurationError, FaultInjectionError
+from repro.errors import (
+    ConfigurationError,
+    CoordinationOscillationWarning,
+    FaultInjectionError,
+)
 from repro.metrics.tail import (
     conditional_value_at_risk,
     expected_mel,
@@ -84,6 +115,8 @@ from repro.routing.costs import build_pair_cost_table
 from repro.routing.exits import early_exit_choices
 from repro.routing.flows import build_full_flowset
 from repro.routing.interdomain import (
+    TransitDemand,
+    TransitLoadIndex,
     propagate_interdomain_routes,
     transit_demand_hops,
 )
@@ -91,6 +124,7 @@ from repro.routing.paths import IntradomainRouting
 from repro.topology.internetwork import Internetwork
 from repro.traffic.gravity import GravityWorkload, pop_gravity_weights
 from repro.util.rng import derive_rng
+from repro.util.validation import validate_choice
 
 __all__ = [
     "EdgeSessionRecord",
@@ -100,10 +134,27 @@ __all__ = [
 ]
 
 _ORDERS = ("round_robin", "random")
+_TRANSIT_ENGINES = ("incremental", "legacy")
 _EPS = 1e-12
-_STOP_REASONS = ("converged", "max_rounds", "quarantined")
+_STOP_REASONS = ("converged", "max_rounds", "quarantined", "oscillating")
 
 _log = logging.getLogger(__name__)
+
+#: The coordinator a fork-pool worker inherits. Set while a coordinator's
+#: pool is alive; workers read only state that is immutable after
+#: ``__init__`` (tables, capacities, config) — everything mutable travels
+#: in the session payload, so a worker forked in any round computes the
+#: same result.
+_POOL_COORDINATOR: "MultiSessionCoordinator | None" = None
+
+
+def _pool_session_worker(payload):
+    """Run one edge's scoped session inside a fork-pool worker."""
+    edge_index, scope, base_a, base_b, deadline, choices = payload
+    return _POOL_COORDINATOR._run_session(
+        edge_index, scope, base_a, base_b,
+        max_session_rounds=deadline, choices=choices,
+    )
 
 
 @dataclass(frozen=True)
@@ -138,11 +189,24 @@ class EdgeSessionRecord:
 
 @dataclass
 class CoordinationRound:
-    """One full pass over the internetwork's edges."""
+    """One full pass over the internetwork's edges.
+
+    ``order`` is the flat edge visit order (the concatenated colored
+    schedule); ``color_schedule`` is the same order grouped by color
+    class, in executed class order. ``color_timings`` holds wall seconds
+    per executed class (including any pool wait) and ``edge_timings``
+    per-edge parent-side seconds — a parallel class attributes its
+    session wall time to the class, not the edges. Timings never enter
+    :class:`EdgeSessionRecord`, so sweep records stay bit-comparable
+    across serial/parallel/resumed runs.
+    """
 
     round_index: int
     order: tuple[int, ...]
     records: list[EdgeSessionRecord] = field(default_factory=list)
+    color_schedule: tuple[tuple[int, ...], ...] = ()
+    color_timings: list[float] = field(default_factory=list)
+    edge_timings: dict[int, float] = field(default_factory=dict)
 
     @property
     def n_sessions(self) -> int:
@@ -158,6 +222,16 @@ class CoordinationRound:
             return 0.0
         return self.records[-1].global_mel
 
+    @property
+    def potential(self) -> float:
+        """The round's convergence potential: global MEL + flows moved.
+
+        A fixed point has potential == global MEL (nothing moved); a
+        converging run's trajectory descends toward it. Purely
+        instrumentation — adoption is still gated per edge.
+        """
+        return self.global_mel + float(self.n_changed)
+
 
 @dataclass
 class MultiNegotiationResult:
@@ -165,8 +239,11 @@ class MultiNegotiationResult:
 
     ``stop_reason`` states why the loop ended: ``"converged"`` (a full
     fault-free pass changed nothing), ``"max_rounds"`` (round budget
-    exhausted) or ``"quarantined"`` (budget exhausted with at least one
-    edge still benched by failure backoff).
+    exhausted), ``"quarantined"`` (budget exhausted with at least one
+    edge still benched by failure backoff) or ``"oscillating"`` (a round
+    moved flows yet reproduced an earlier global assignment — the
+    deterministic loop would cycle forever). ``n_colors`` is the colored
+    schedule's class count — the round's concurrency width.
     """
 
     isp_names: tuple[str, ...]
@@ -177,6 +254,7 @@ class MultiNegotiationResult:
     choices: list[np.ndarray]
     defaults: list[np.ndarray]
     stop_reason: str = "converged"
+    n_colors: int = 0
 
     @property
     def initial_mel(self) -> float:
@@ -200,6 +278,54 @@ class MultiNegotiationResult:
     def records(self) -> list[EdgeSessionRecord]:
         return [r for round_ in self.rounds for r in round_.records]
 
+    def potential_trajectory(self) -> list[tuple[float, int]]:
+        """Per round: (global MEL after the round, flows moved in it)."""
+        return [(r.global_mel, r.n_changed) for r in self.rounds]
+
+    def timing_summary(self) -> dict:
+        """Aggregated wall timings of the coordination.
+
+        ``per_edge`` sums each edge's parent-side slot seconds across
+        rounds; ``per_round_colors`` lists every round's per-class wall
+        seconds in executed class order (a parallel class's session time
+        lives here, not in ``per_edge``).
+        """
+        per_edge: dict[int, float] = {}
+        for round_ in self.rounds:
+            for edge_index, seconds in round_.edge_timings.items():
+                per_edge[edge_index] = per_edge.get(edge_index, 0.0) + seconds
+        return {
+            "per_edge": per_edge,
+            "per_round_colors": [
+                list(round_.color_timings) for round_ in self.rounds
+            ],
+        }
+
+
+@dataclass
+class _SlotDecision:
+    """What one slot resolved to *before* its session (if any) runs.
+
+    ``_slot_begin`` reads state and decides; ``_slot_finish`` applies the
+    mutations and emits the record. Splitting the slot this way lets a
+    color class begin every edge against the same frozen snapshot, run
+    the pending sessions concurrently, and drain the finishes in
+    deterministic edge order — while the serial path simply runs
+    begin/session/finish per edge and stays the canonical semantics.
+    """
+
+    edge_index: int
+    kind: str  # "skip" | "session"
+    base_a: np.ndarray
+    base_b: np.ndarray
+    n_rerouted: int = 0
+    fault: str | None = None
+    scope: np.ndarray | None = None
+    scope_size: int = 0
+    deadline: int | None = None
+    set_context: bool = False
+    register_failure: bool = False
+
 
 class MultiSessionCoordinator:
     """Runs pairwise sessions over every internetwork edge, in rounds.
@@ -220,6 +346,17 @@ class MultiSessionCoordinator:
     (``tail_weight``/``tail_quantile``/``scenario_engine``) and adds the
     per-endpoint CVaR_q MEL to the re-agreement Pareto gate. All default
     to off; the defaults leave every pre-existing code path untouched.
+
+    Scale knobs: ``coord_workers`` (the ``resolve_workers`` contract of
+    :mod:`repro.experiments.parallel`: ``None``/0/1 serial, ``-1`` one
+    per CPU, N >= 2 exactly N) runs each color class's sessions on a
+    fork pool, bit-identical to serial by the frozen-snapshot argument;
+    it cannot be combined with a non-empty ``fault_plan`` (fault events
+    mutate shared edge state mid-round). ``transit_engine`` selects how
+    transit background reacts to severances: ``"incremental"`` (default)
+    re-routes only the demands crossing the severed edge via
+    :class:`~repro.routing.interdomain.TransitLoadIndex`; ``"legacy"``
+    re-derives every demand. Both engines are bit-identical.
     """
 
     def __init__(
@@ -234,6 +371,8 @@ class MultiSessionCoordinator:
         include_transit: bool = True,
         transit_scale: float = 1.0,
         subset_engine: str = "incidence",
+        transit_engine: str = "incremental",
+        coord_workers: int | None = None,
         fault_plan: FaultPlan | None = None,
         failure_model: FailureModel | None = None,
         tail_weight: float = 0.5,
@@ -243,10 +382,12 @@ class MultiSessionCoordinator:
         quarantine_backoff_rounds: int = 1,
         quarantine_backoff_cap: int = 8,
     ):
-        if order not in _ORDERS:
-            raise ConfigurationError(
-                f"order must be one of {_ORDERS}, got {order!r}"
-            )
+        # Imported lazily: core must not depend on the experiments
+        # package at module load (the experiment drivers import core).
+        from repro.experiments.parallel import resolve_workers
+
+        validate_choice(order, _ORDERS, "order")
+        validate_choice(transit_engine, _TRANSIT_ENGINES, "transit_engine")
         if max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
         if transit_scale < 0:
@@ -287,7 +428,15 @@ class MultiSessionCoordinator:
         self.include_transit = include_transit
         self.transit_scale = transit_scale
         self.subset_engine = subset_engine
+        self.transit_engine = transit_engine
+        self.coord_workers = resolve_workers(coord_workers)
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        if self.coord_workers > 1 and not self.fault_plan.is_empty():
+            raise ConfigurationError(
+                "coord_workers > 1 cannot run a non-empty fault_plan: "
+                "injected faults mutate shared edge state mid-round; "
+                "run fault plans with coord_workers=None"
+            )
         self.failure_model = failure_model
         self.tail_weight = float(tail_weight)
         self.tail_quantile = float(tail_quantile)
@@ -342,7 +491,31 @@ class MultiSessionCoordinator:
                 # per-edge load cache with the default placements.
                 planned = planned + self._edge_side_loads(index, side)
             self._caps[isp.name] = self.provisioner.capacities(planned)
-        self._transit = self._transit_loads()
+        #: Lazily propagated BGP next-hop tables and the canonical transit
+        #: demand list — shared by both transit engines and the benches.
+        self._routes = None
+        self._transit_demands_cache: list[TransitDemand] | None = None
+        self._transit_index: TransitLoadIndex | None = None
+        if self.transit_engine == "incremental" and self._has_transit():
+            self._transit_index = TransitLoadIndex(
+                self.net,
+                self._interdomain_routes(),
+                self._routings,
+                self._transit_demands(),
+            )
+            self._transit = self._transit_index.loads()
+        else:
+            # Explicit empty blocked map: nothing is severed at build time
+            # (the severed-column state is initialized further down).
+            self._transit = self._transit_loads(blocked={})
+        #: The colored schedule: the round's canonical semantics. Seeded
+        #: by the coordinator's seed, stable across platforms and edge
+        #: enumeration orders.
+        self._coloring: EdgeColoring = color_peering_edges(
+            [(e.isp_a.name, e.isp_b.name) for e in self.net.edges],
+            seed=self.seed,
+        )
+        self._pool: ProcessPoolExecutor | None = None
         #: Per edge: the (base_a, base_b) context of the last session run,
         #: or None before the first. Drives skip and scope decisions.
         self._last_context: list[tuple[np.ndarray, np.ndarray] | None] = [
@@ -405,26 +578,35 @@ class MultiSessionCoordinator:
 
     # -- load accounting -----------------------------------------------------
 
-    def _transit_loads(self) -> dict[str, np.ndarray]:
-        """Background link loads from inter-ISP transit demands.
+    def _has_transit(self) -> bool:
+        """Whether any transit background exists for this internetwork."""
+        return (
+            self.include_transit
+            and self.transit_scale != 0
+            and self.net.n_isps() >= 3
+            and self.net.n_edges() > 0
+        )
+
+    def _interdomain_routes(self):
+        if self._routes is None:
+            self._routes = propagate_interdomain_routes(self.net)
+        return self._routes
+
+    def _transit_demands(self) -> list[TransitDemand]:
+        """The canonical transit demand list, shared by both engines.
 
         One demand per (source PoP, destination ISP) over every ordered
-        *non-adjacent* ISP pair (adjacent traffic is modelled by the edge
-        flowsets); volumes are gravity-normalized so the mean per-source-PoP
-        demand equals ``transit_scale``. Deterministic: ISP pairs in member
-        order, source PoPs ascending.
+        *non-adjacent* reachable ISP pair (adjacent traffic is modelled by
+        the edge flowsets); volumes are gravity-normalized so the mean
+        per-source-PoP demand equals ``transit_scale``. Deterministic:
+        ISP pairs in member order, source PoPs ascending — the legacy
+        loop's exact enumeration, which is what makes the engines
+        bit-comparable.
         """
-        loads = {
-            isp.name: np.zeros(isp.n_links()) for isp in self.net.isps
-        }
-        if (
-            not self.include_transit
-            or self.transit_scale == 0
-            or self.net.n_isps() < 3
-            or self.net.n_edges() == 0
-        ):
-            return loads
-        routes = propagate_interdomain_routes(self.net)
+        if self._transit_demands_cache is not None:
+            return self._transit_demands_cache
+        demands: list[TransitDemand] = []
+        routes = self._interdomain_routes()
         adjacent = {
             frozenset((e.isp_a.name, e.isp_b.name)) for e in self.net.edges
         }
@@ -441,17 +623,58 @@ class MultiSessionCoordinator:
                 if not routes.reachable(src_isp.name, dst_isp.name):
                     continue
                 for pop in range(src_isp.n_pops()):
-                    hops = transit_demand_hops(
-                        self.net,
-                        routes,
-                        src_isp.name,
-                        pop,
-                        dst_isp.name,
-                        self._routings,
+                    demands.append(
+                        TransitDemand(
+                            src_isp=src_isp.name,
+                            src_pop=pop,
+                            dst_isp=dst_isp.name,
+                            volume=float(volumes[pop]),
+                        )
                     )
-                    for hop in hops:
-                        if hop.links.size:
-                            loads[hop.isp][hop.links] += volumes[pop]
+        self._transit_demands_cache = demands
+        return demands
+
+    def _blocked_columns(self) -> dict[int, set[int]]:
+        """The severed-column map in the routing layer's ``blocked`` shape."""
+        return {
+            edge_index: set(columns)
+            for edge_index, columns in enumerate(self._severed)
+            if columns
+        }
+
+    def _transit_loads(
+        self, blocked: dict[int, set[int]] | None = None
+    ) -> dict[str, np.ndarray]:
+        """Background link loads from inter-ISP transit demands (legacy).
+
+        Walks every canonical demand's hop chain and accumulates with the
+        reference ``loads[links] += volume`` loop; ``blocked`` (default:
+        the currently severed columns) restricts hot-potato exits to the
+        survivors. The incremental engine re-derives only crossing
+        demands but accumulates the identical entries in the identical
+        order, so the two are bit-for-bit equal.
+        """
+        loads = {
+            isp.name: np.zeros(isp.n_links()) for isp in self.net.isps
+        }
+        if not self._has_transit():
+            return loads
+        if blocked is None:
+            blocked = self._blocked_columns()
+        routes = self._interdomain_routes()
+        for demand in self._transit_demands():
+            hops = transit_demand_hops(
+                self.net,
+                routes,
+                demand.src_isp,
+                demand.src_pop,
+                demand.dst_isp,
+                self._routings,
+                blocked=blocked or None,
+            )
+            for hop in hops:
+                if hop.links.size:
+                    loads[hop.isp][hop.links] += demand.volume
         return loads
 
     def _edge_side_loads(self, edge_index: int, side: str) -> np.ndarray:
@@ -556,6 +779,7 @@ class MultiSessionCoordinator:
         self, edge_index: int, scope: np.ndarray,
         base_a: np.ndarray, base_b: np.ndarray,
         max_session_rounds: int | None = None,
+        choices: np.ndarray | None = None,
     ) -> tuple[np.ndarray, TerminationReason]:
         """One pairwise session over the scoped sub-table.
 
@@ -567,9 +791,15 @@ class MultiSessionCoordinator:
         returned choices are mapped back to full-table columns.
         ``max_session_rounds`` imposes an injected deadline on the inner
         protocol. Returns ``(choices, termination reason)``.
+
+        Pure given its arguments plus init-immutable state: ``choices``
+        (default: the edge's current placements) exists so fork-pool
+        workers receive the round-current assignment in the payload
+        rather than trusting their forked snapshot.
         """
         table = self._tables[edge_index]
-        choices = self._choices[edge_index]
+        if choices is None:
+            choices = self._choices[edge_index]
         out_of_scope = np.ones(table.n_flows, dtype=bool)
         out_of_scope[scope] = False
         eval_base_a = link_loads(
@@ -729,8 +959,10 @@ class MultiSessionCoordinator:
         Flows stranded on the severed columns re-route to their
         early-exit column among the survivors (the default rule applied
         to the working table); the edge's derived caches drop and its
-        next slot renegotiates over every flow. Returns the number of
-        re-routed flows.
+        next slot renegotiates over every flow. Transit background
+        crossing the edge re-routes too — incrementally under
+        ``transit_engine="incremental"``, by full re-derivation under
+        ``"legacy"``. Returns the number of re-routed flows.
         """
         fresh = [
             c for c in columns if c not in self._severed[edge_index]
@@ -738,6 +970,12 @@ class MultiSessionCoordinator:
         if not fresh:
             return 0
         self._severed[edge_index].update(fresh)
+        if self._has_transit():
+            if self._transit_index is not None:
+                self._transit_index.sever(edge_index, fresh)
+                self._transit = self._transit_index.loads()
+            else:
+                self._transit = self._transit_loads()
         self._working_cache[edge_index] = None
         self._edge_model_cache[edge_index] = None
         self._edge_scenarios_cache[edge_index] = None
@@ -865,35 +1103,82 @@ class MultiSessionCoordinator:
     # -- the coordination loop -------------------------------------------------
 
     def run(self) -> MultiNegotiationResult:
-        """Execute rounds until convergence or the round limit.
+        """Execute colored rounds until convergence or the round limit.
 
-        A round converges only if it is fault-free *and* changes nothing:
-        an aborted, deadline-expired or quarantined slot defers work to a
-        later round, so such a round cannot witness a fixed point.
+        A round walks the color classes (``order="round_robin"``:
+        ascending color; ``"random"``: a seeded shuffle of the *class*
+        order — within a class edges always run ascending, which keeps
+        visit order equal to drain order). A round converges only if it
+        is fault-free *and* changes nothing: an aborted, deadline-expired
+        or quarantined slot defers work to a later round, so such a round
+        cannot witness a fixed point. A round that moves flows yet lands
+        on a previously seen global assignment fingerprint stops the loop
+        with ``stop_reason="oscillating"`` and a
+        :class:`CoordinationOscillationWarning`.
         """
         rng = derive_rng(self.seed, "multi-isp-order")
         rounds: list[CoordinationRound] = []
         initial_mels = self._mels()
         converged = self.net.n_edges() == 0
-        for round_index in range(self.max_rounds):
-            if converged:
-                break
-            order = list(range(self.net.n_edges()))
-            if self.order == "random":
-                rng.shuffle(order)
-            round_ = CoordinationRound(
-                round_index=round_index, order=tuple(order)
-            )
-            for slot, edge_index in enumerate(order):
-                record = self._run_slot(round_index, slot, edge_index)
-                round_.records.append(record)
-            rounds.append(round_)
-            if round_.n_changed == 0 and all(
-                r.fault is None for r in round_.records
-            ):
-                converged = True
+        oscillating = False
+        classes = self._coloring.classes
+        seen_assignments = {self._assignment_fingerprint(): -1}
+        try:
+            for round_index in range(self.max_rounds):
+                if converged:
+                    break
+                class_order = list(range(len(classes)))
+                if self.order == "random":
+                    rng.shuffle(class_order)
+                schedule = tuple(classes[c] for c in class_order)
+                round_ = CoordinationRound(
+                    round_index=round_index,
+                    order=tuple(
+                        edge for group in schedule for edge in group
+                    ),
+                    color_schedule=schedule,
+                )
+                slot = 0
+                for group in schedule:
+                    started = time.perf_counter()
+                    round_.records.extend(
+                        self._run_color_class(
+                            round_index, slot, group, round_.edge_timings
+                        )
+                    )
+                    round_.color_timings.append(
+                        time.perf_counter() - started
+                    )
+                    slot += len(group)
+                rounds.append(round_)
+                if round_.n_changed == 0 and all(
+                    r.fault is None for r in round_.records
+                ):
+                    converged = True
+                    continue
+                if round_.n_changed > 0:
+                    fingerprint = self._assignment_fingerprint()
+                    first_seen = seen_assignments.get(fingerprint)
+                    if first_seen is not None:
+                        oscillating = True
+                        warnings.warn(
+                            CoordinationOscillationWarning(
+                                f"round {round_index} moved "
+                                f"{round_.n_changed} flow(s) yet "
+                                "reproduced the global assignment of "
+                                f"round {first_seen}; coordination is "
+                                "oscillating and will not converge"
+                            ),
+                            stacklevel=2,
+                        )
+                        break
+                    seen_assignments[fingerprint] = round_index
+        finally:
+            self._close_pool()
         if converged:
             stop_reason = "converged"
+        elif oscillating:
+            stop_reason = "oscillating"
         elif any(q > len(rounds) for q in self._quarantined_until):
             stop_reason = "quarantined"
         else:
@@ -914,11 +1199,165 @@ class MultiSessionCoordinator:
             choices=[c.copy() for c in self._choices],
             defaults=[d.copy() for d in self._defaults],
             stop_reason=stop_reason,
+            n_colors=self._coloring.n_colors,
         )
 
-    def _run_slot(
-        self, round_index: int, slot: int, edge_index: int
-    ) -> EdgeSessionRecord:
+    def _assignment_fingerprint(self) -> str:
+        """A stable digest of the full per-edge placement state."""
+        digest = hashlib.sha256()
+        for choices in self._choices:
+            digest.update(np.ascontiguousarray(choices).tobytes())
+        return digest.hexdigest()
+
+    # -- color-class execution -------------------------------------------------
+
+    def _run_color_class(
+        self,
+        round_index: int,
+        slot_offset: int,
+        group: tuple[int, ...],
+        edge_timings: dict[int, float],
+    ) -> list[EdgeSessionRecord]:
+        """Execute one color class, serially or on the fork pool.
+
+        Serial (canonical): begin / session / finish per edge, ascending.
+        Parallel: begin every edge against the frozen snapshot, run the
+        pending sessions on the pool, then finish in ascending edge order.
+        The two are bit-identical because same-color edges share no ISP:
+        finishing edge ``i`` mutates only its own two ISPs' state, which
+        a classmate's begin/session never reads.
+        """
+        use_pool = self.coord_workers > 1 and len(group) > 1
+        records: list[EdgeSessionRecord] = []
+        if not use_pool:
+            for offset, edge_index in enumerate(group):
+                started = time.perf_counter()
+                decision = self._slot_begin(round_index, edge_index)
+                output = None
+                if decision.kind == "session":
+                    output = self._run_session(
+                        edge_index,
+                        decision.scope,
+                        decision.base_a,
+                        decision.base_b,
+                        max_session_rounds=decision.deadline,
+                    )
+                records.append(
+                    self._slot_finish(
+                        round_index, slot_offset + offset, decision, output
+                    )
+                )
+                elapsed = time.perf_counter() - started
+                edge_timings[edge_index] = (
+                    edge_timings.get(edge_index, 0.0) + elapsed
+                )
+            return records
+
+        begun = [
+            (time.perf_counter(), self._slot_begin(round_index, edge_index))
+            for edge_index in group
+        ]
+        decisions = []
+        for started, decision in begun:
+            edge_timings[decision.edge_index] = (
+                edge_timings.get(decision.edge_index, 0.0)
+                + (time.perf_counter() - started)
+            )
+            decisions.append(decision)
+        outputs = self._run_sessions(
+            [d for d in decisions if d.kind == "session"]
+        )
+        for offset, decision in enumerate(decisions):
+            started = time.perf_counter()
+            records.append(
+                self._slot_finish(
+                    round_index,
+                    slot_offset + offset,
+                    decision,
+                    outputs.get(decision.edge_index),
+                )
+            )
+            edge_timings[decision.edge_index] += (
+                time.perf_counter() - started
+            )
+        return records
+
+    def _run_sessions(
+        self, decisions: list[_SlotDecision]
+    ) -> dict[int, tuple[np.ndarray, TerminationReason]]:
+        """Run the pending sessions of one class, pooled when possible.
+
+        Each payload carries the edge's round-current mutable state
+        (scope, bases, choices); workers combine it with fork-inherited
+        immutable state (tables, capacities, config). Falls back to the
+        serial path when forking is unavailable (non-fork platforms,
+        daemonic parents) or only one session is pending.
+        """
+        if not decisions:
+            return {}
+        pool = self._ensure_pool() if len(decisions) > 1 else None
+        if pool is None:
+            return {
+                d.edge_index: self._run_session(
+                    d.edge_index, d.scope, d.base_a, d.base_b,
+                    max_session_rounds=d.deadline,
+                )
+                for d in decisions
+            }
+        payloads = [
+            (
+                d.edge_index, d.scope, d.base_a, d.base_b, d.deadline,
+                self._choices[d.edge_index],
+            )
+            for d in decisions
+        ]
+        futures = [
+            pool.submit(_pool_session_worker, payload)
+            for payload in payloads
+        ]
+        return {
+            d.edge_index: future.result()
+            for d, future in zip(decisions, futures)
+        }
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        """The coordinator's fork pool, created lazily; None if unusable."""
+        global _POOL_COORDINATOR
+        if self._pool is not None:
+            _POOL_COORDINATOR = self
+            return self._pool
+        # Imported lazily: core must not depend on the experiments
+        # package at module load.
+        from repro.experiments.parallel import fork_context
+
+        context = fork_context()
+        if context is None or multiprocessing.current_process().daemon:
+            return None
+        _POOL_COORDINATOR = self
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.coord_workers, mp_context=context
+        )
+        return self._pool
+
+    def _close_pool(self) -> None:
+        global _POOL_COORDINATOR
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if _POOL_COORDINATOR is self:
+            _POOL_COORDINATOR = None
+
+    def _slot_begin(
+        self, round_index: int, edge_index: int
+    ) -> _SlotDecision:
+        """Resolve one slot up to (but excluding) its session and mutations.
+
+        Applies environmental fault events (severances strike whether or
+        not the edge negotiates), snapshots the edge's base loads, and
+        decides skip vs. session. Reads nothing a same-color classmate's
+        finish could have written, which is what lets a parallel class
+        begin every edge before any finishes.
+        """
         edge = self.net.edges[edge_index]
 
         # Injected link failures land first — they are environmental and
@@ -932,25 +1371,11 @@ class MultiSessionCoordinator:
         base_a = self._isp_loads(edge.isp_a.name, exclude_edge=edge_index)
         base_b = self._isp_loads(edge.isp_b.name, exclude_edge=edge_index)
 
-        def skip(
-            scope_size: int = 0,
-            fault: str | None = None,
-            ran_session: bool = False,
-        ) -> EdgeSessionRecord:
-            mels = self._mels()
-            return EdgeSessionRecord(
-                round_index=round_index,
-                slot=slot,
-                edge_index=edge_index,
-                pair_name=edge.name,
-                scope_size=scope_size,
-                ran_session=ran_session,
-                adopted=False,
-                n_changed=0,
-                mel_per_isp=mels,
-                global_mel=max(mels) if mels else 0.0,
-                fault=fault,
-                n_rerouted=n_rerouted,
+        def skip(**kwargs) -> _SlotDecision:
+            return _SlotDecision(
+                edge_index=edge_index, kind="skip",
+                base_a=base_a, base_b=base_b, n_rerouted=n_rerouted,
+                **kwargs,
             )
 
         if round_index < self._quarantined_until[edge_index]:
@@ -977,27 +1402,88 @@ class MultiSessionCoordinator:
         else:
             scope = self._scope(edge_index, base_a, base_b)
         if scope.size == 0:
-            self._last_context[edge_index] = (base_a, base_b)
-            return skip()
+            return skip(set_context=True)
 
         if any(event.kind == "abort" for event in events):
             # The session crashes before an agreement: adoption is atomic,
             # so the last adopted assignment stands untouched. The context
             # is deliberately not updated (and a forced scope survives),
             # so the edge retries on its next non-quarantined slot.
-            self._register_failure(edge_index, round_index)
-            return skip(scope_size=int(scope.size), fault="abort")
+            return skip(
+                scope_size=int(scope.size), fault="abort",
+                register_failure=True,
+            )
 
         deadlines = [
             event.deadline_rounds for event in events
             if event.kind == "deadline"
         ]
-        deadline = min(deadlines) if deadlines else None
-        proposal_sub, reason = self._run_session(
-            edge_index, scope, base_a, base_b,
-            max_session_rounds=deadline,
+        return _SlotDecision(
+            edge_index=edge_index,
+            kind="session",
+            base_a=base_a,
+            base_b=base_b,
+            n_rerouted=n_rerouted,
+            scope=scope,
+            scope_size=int(scope.size),
+            deadline=min(deadlines) if deadlines else None,
         )
-        if deadline is not None and reason is TerminationReason.ROUND_LIMIT:
+
+    def _slot_finish(
+        self,
+        round_index: int,
+        slot: int,
+        decision: _SlotDecision,
+        output: tuple[np.ndarray, TerminationReason] | None,
+    ) -> EdgeSessionRecord:
+        """Apply one slot's mutations and emit its record.
+
+        Runs in deterministic (ascending-edge) drain order within a
+        class; ``_mels()`` therefore reflects exactly the adoptions of
+        earlier slots, identically in serial and parallel execution.
+        """
+        edge_index = decision.edge_index
+        edge = self.net.edges[edge_index]
+
+        def skip(
+            scope_size: int = 0,
+            fault: str | None = None,
+            ran_session: bool = False,
+        ) -> EdgeSessionRecord:
+            mels = self._mels()
+            return EdgeSessionRecord(
+                round_index=round_index,
+                slot=slot,
+                edge_index=edge_index,
+                pair_name=edge.name,
+                scope_size=scope_size,
+                ran_session=ran_session,
+                adopted=False,
+                n_changed=0,
+                mel_per_isp=mels,
+                global_mel=max(mels) if mels else 0.0,
+                fault=fault,
+                n_rerouted=decision.n_rerouted,
+            )
+
+        if decision.kind == "skip":
+            if decision.register_failure:
+                self._register_failure(edge_index, round_index)
+            if decision.set_context:
+                self._last_context[edge_index] = (
+                    decision.base_a, decision.base_b
+                )
+            return skip(
+                scope_size=decision.scope_size, fault=decision.fault
+            )
+
+        scope = decision.scope
+        base_a, base_b = decision.base_a, decision.base_b
+        proposal_sub, reason = output
+        if (
+            decision.deadline is not None
+            and reason is TerminationReason.ROUND_LIMIT
+        ):
             # The session outran its injected deadline: its partial
             # agreement is discarded whole (atomic adoption), exactly as
             # for an abort.
@@ -1059,5 +1545,5 @@ class MultiSessionCoordinator:
             mel_per_isp=mels,
             global_mel=max(mels) if mels else 0.0,
             fault=None,
-            n_rerouted=n_rerouted,
+            n_rerouted=decision.n_rerouted,
         )

@@ -22,6 +22,7 @@ __all__ = [
     "SerializationError",
     "SweepUnitError",
     "FaultInjectionError",
+    "CoordinationOscillationWarning",
 ]
 
 
@@ -97,3 +98,16 @@ class SweepUnitError(ReproError):
             f"{len(self.failures)} unit(s) of sweep {scenario!r} failed "
             f"after retries: {details}"
         )
+
+
+class CoordinationOscillationWarning(UserWarning):
+    """Multi-ISP coordination revisited a previously seen global assignment.
+
+    Emitted by :meth:`~repro.core.multi_session.MultiSessionCoordinator.run`
+    when a round that moved flows lands on a global placement fingerprint
+    already observed earlier in the run — the deterministic round map will
+    cycle through the same states forever, so the loop stops with
+    ``stop_reason="oscillating"`` instead of burning the round budget.
+    A :class:`Warning` (not a :class:`ReproError`): the run still returns
+    its trajectory; callers opt into strictness with ``warnings`` filters.
+    """

@@ -64,6 +64,8 @@ _MULTI_ISP_DEFAULTS: dict[str, Any] = {
     "include_transit": True,
     "transit_scale": 3.0,
     "subset_engine": "incidence",
+    "transit_engine": "incremental",
+    "coord_workers": None,
 }
 
 #: Params that shape the internetwork itself (vs. the coordination).
@@ -132,6 +134,8 @@ def _coordinator_result(config: ExperimentConfig, params: Mapping[str, Any]):
         include_transit=bool(params["include_transit"]),
         transit_scale=float(params["transit_scale"]),
         subset_engine=str(params["subset_engine"]),
+        transit_engine=str(params["transit_engine"]),
+        coord_workers=params["coord_workers"],
     ).run()
     _cache_put(_trajectory_cache, key, result, _TRAJECTORY_CACHE_SIZE)
     return result
@@ -352,7 +356,10 @@ def run_multi_isp(
     # Backfill the scenario defaults so the direct path and the registered
     # multi_isp sweep run the identical scenario out of the box.
     coordinator_kwargs.setdefault("max_rounds", _MULTI_ISP_DEFAULTS["rounds"])
-    for key in ("order", "include_transit", "transit_scale", "subset_engine"):
+    for key in (
+        "order", "include_transit", "transit_scale", "subset_engine",
+        "transit_engine", "coord_workers",
+    ):
         coordinator_kwargs.setdefault(key, _MULTI_ISP_DEFAULTS[key])
     return MultiSessionCoordinator(
         internetwork, config=config, **coordinator_kwargs
@@ -371,6 +378,8 @@ def run_multi_isp_experiment(
     peering_probability: float = 0.5,
     include_transit: bool = True,
     transit_scale: float = 3.0,
+    transit_engine: str = "incremental",
+    coord_workers: int | None = None,
     workers: int | None = None,
     checkpoint_dir=None,
     resume: bool = False,
@@ -384,7 +393,9 @@ def run_multi_isp_experiment(
     deterministic trajectory once, then serves its cells), and
     ``checkpoint_dir`` / ``resume`` persist per-cell shards. Any worker
     count, interrupt/resume split, or serial run produces bit-identical
-    results.
+    results. ``coord_workers`` is orthogonal: it parallelizes the color
+    classes *inside* the replayed coordination (also bit-identical), while
+    ``transit_engine`` picks the pinned-identical transit backend.
     """
     params = dict(
         n_isps=n_isps,
@@ -397,6 +408,8 @@ def run_multi_isp_experiment(
         peering_probability=peering_probability,
         include_transit=include_transit,
         transit_scale=transit_scale,
+        transit_engine=transit_engine,
+        coord_workers=coord_workers,
     )
     return SweepRunner(
         workers=workers, checkpoint_dir=checkpoint_dir, resume=resume,

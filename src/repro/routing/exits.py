@@ -21,6 +21,8 @@ Ties break toward the lowest interconnection index, deterministically.
 
 from __future__ import annotations
 
+from typing import Collection
+
 import numpy as np
 
 from repro.errors import RoutingError
@@ -56,13 +58,17 @@ def early_exit_for_pop(
     pop_index: int,
     side: str = "a",
     routing: IntradomainRouting | None = None,
+    blocked: "Collection[int]" = (),
 ) -> int:
     """Hot-potato interconnection for traffic at one PoP of ``pair.isp(side)``.
 
     The per-PoP analogue of :func:`early_exit_choices`: the interconnection
     with the smallest routing-weight distance from ``pop_index``, ties
     toward the lowest interconnection index. ``routing`` may be passed in
-    to share the ISP's Dijkstra cache across calls.
+    to share the ISP's Dijkstra cache across calls. ``blocked`` excludes
+    severed interconnection indices from the choice (the returned index is
+    still a full-table column); with every column blocked there is no exit
+    and a :class:`~repro.errors.RoutingError` is raised.
     """
     isp = pair.isp(side)
     routing = routing or IntradomainRouting(isp)
@@ -71,7 +77,17 @@ def early_exit_for_pop(
             f"routing cache is for {routing.isp.name!r}, not {isp.name!r}"
         )
     exit_pops = pair.exit_pops(side)
+    if blocked:
+        blocked_set = set(blocked)
+        alive = [i for i in range(len(exit_pops)) if i not in blocked_set]
+        if not alive:
+            raise RoutingError(
+                f"every interconnection of {pair.name!r} is blocked; "
+                "no hot-potato exit exists"
+            )
+    else:
+        alive = list(range(len(exit_pops)))
     distances = np.asarray(
-        [routing.weight_distance(exit_pop, pop_index) for exit_pop in exit_pops]
+        [routing.weight_distance(exit_pops[i], pop_index) for i in alive]
     )
-    return int(np.argmin(distances))
+    return alive[int(np.argmin(distances))]

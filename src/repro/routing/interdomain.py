@@ -28,6 +28,7 @@ index (its router-id stand-in).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Collection, Mapping, Sequence
 
 import numpy as np
 
@@ -47,6 +48,8 @@ __all__ = [
     "propagate_interdomain_routes",
     "TransitHop",
     "transit_demand_hops",
+    "TransitDemand",
+    "TransitLoadIndex",
 ]
 
 
@@ -196,6 +199,7 @@ def transit_demand_hops(
     src_pop: int,
     dst_isp: str,
     routings: dict[str, IntradomainRouting] | None = None,
+    blocked: Mapping[int, Collection[int]] | None = None,
 ) -> list[TransitHop]:
     """The per-ISP segments of one demand under default routing.
 
@@ -204,6 +208,12 @@ def transit_demand_hops(
     next-hop edge (:func:`early_exit_for_pop`) and enters the neighbor at
     that interconnection's far-side PoP. The terminal ISP contributes no
     segment. ``routings`` shares Dijkstra caches across demands.
+
+    ``blocked`` maps internetwork edge indices to severed interconnection
+    columns: the hot-potato choice on those edges is restricted to the
+    survivors (the AS-level path itself is unaffected — severing columns
+    does not withdraw the route). An unblocked walk is bit-identical to
+    the pre-severance behaviour.
     """
     if src_isp == dst_isp:
         raise RoutingError("a transit demand needs distinct endpoint ISPs")
@@ -218,7 +228,10 @@ def transit_demand_hops(
         if routing is None:
             routing = IntradomainRouting(internetwork.get(here))
             routings[here] = routing
-        exit_ic = early_exit_for_pop(edge, pop, side=side, routing=routing)
+        severed = blocked.get(edge_index, ()) if blocked else ()
+        exit_ic = early_exit_for_pop(
+            edge, pop, side=side, routing=routing, blocked=severed
+        )
         exit_pop = edge.exit_pops(side)[exit_ic]
         hops.append(
             TransitHop(
@@ -233,3 +246,173 @@ def transit_demand_hops(
         here = routes.next_hop(here, dst_isp)
         pop = edge.exit_pops(edge.other_side(side))[exit_ic]
     return hops
+
+
+@dataclass(frozen=True)
+class TransitDemand:
+    """One inter-domain demand: a source PoP sending toward a non-adjacent ISP."""
+
+    src_isp: str
+    src_pop: int
+    dst_isp: str
+    volume: float
+
+
+class TransitLoadIndex:
+    """Per-demand interdomain hop tables with incremental re-routing.
+
+    Derives (and keeps) each demand's :func:`transit_demand_hops` chain
+    once, plus a per-edge *crossing* index built from the AS-level edge
+    sequences. Column severances then invalidate exactly the chains that
+    cross the severed edge — the crossing set itself is static, because
+    BGP route selection never looks at interconnection columns — so
+    :meth:`sever` re-derives only those demands instead of walking every
+    demand in the internetwork again.
+
+    Per-ISP link loads accumulate as one :func:`numpy.bincount` over the
+    canonically ordered (demand, hop, link) entries. NumPy's weighted
+    bincount adds entries sequentially in input order, which is exactly
+    the legacy ``loads[hop.links] += volume`` loop's per-link accumulation
+    order, so the result is **bit-identical** to the loop (the equivalence
+    tests pin this).
+    """
+
+    def __init__(
+        self,
+        internetwork: Internetwork,
+        routes: InterdomainRoutes,
+        routings: dict[str, IntradomainRouting],
+        demands: Sequence[TransitDemand],
+        blocked: Mapping[int, Collection[int]] | None = None,
+    ):
+        self._net = internetwork
+        self._routes = routes
+        self._routings = routings
+        self._demands: tuple[TransitDemand, ...] = tuple(demands)
+        self._blocked: dict[int, set[int]] = {
+            int(edge): set(columns)
+            for edge, columns in (blocked or {}).items()
+            if columns
+        }
+        self._chains: list[list[TransitHop]] = [
+            self._derive(demand, self._blocked) for demand in self._demands
+        ]
+        # Crossing sets from the realized chains: demand d crosses edge e
+        # iff e appears in d's hop sequence. Hop sequences follow the
+        # AS-level next-hop table, which severances don't change, so this
+        # index never needs rebuilding.
+        self._crossing: dict[int, list[int]] = {}
+        for demand_id, chain in enumerate(self._chains):
+            for hop in chain:
+                self._crossing.setdefault(hop.edge_index, []).append(
+                    demand_id
+                )
+        self._loads_cache: dict[str, np.ndarray] | None = None
+
+    @property
+    def n_demands(self) -> int:
+        return len(self._demands)
+
+    @property
+    def blocked(self) -> dict[int, frozenset[int]]:
+        return {
+            edge: frozenset(columns)
+            for edge, columns in self._blocked.items()
+        }
+
+    def crossing(self, edge_index: int) -> tuple[int, ...]:
+        """Demand ids whose chains traverse ``edge_index`` (ascending)."""
+        return tuple(self._crossing.get(edge_index, ()))
+
+    def _derive(
+        self,
+        demand: TransitDemand,
+        blocked: Mapping[int, Collection[int]],
+    ) -> list[TransitHop]:
+        return transit_demand_hops(
+            self._net,
+            self._routes,
+            demand.src_isp,
+            demand.src_pop,
+            demand.dst_isp,
+            self._routings,
+            blocked=blocked or None,
+        )
+
+    def sever(self, edge_index: int, columns: Collection[int]) -> int:
+        """Block columns on one edge; re-route only the crossing demands.
+
+        Returns the number of demand chains re-derived (0 if every column
+        was already blocked). Non-crossing chains are untouched, which is
+        what makes a severance O(crossing demands) instead of O(all
+        demands).
+        """
+        fresh = set(columns) - self._blocked.get(edge_index, set())
+        if not fresh:
+            return 0
+        self._blocked.setdefault(edge_index, set()).update(fresh)
+        touched = self._crossing.get(edge_index, ())
+        for demand_id in touched:
+            self._chains[demand_id] = self._derive(
+                self._demands[demand_id], self._blocked
+            )
+        self._loads_cache = None
+        return len(touched)
+
+    def _accumulate(
+        self, chains: Sequence[list[TransitHop]]
+    ) -> dict[str, np.ndarray]:
+        per_isp_links: dict[str, list[np.ndarray]] = {
+            isp.name: [] for isp in self._net.isps
+        }
+        per_isp_weights: dict[str, list[np.ndarray]] = {
+            isp.name: [] for isp in self._net.isps
+        }
+        for demand, chain in zip(self._demands, chains):
+            for hop in chain:
+                if hop.links.size:
+                    per_isp_links[hop.isp].append(hop.links)
+                    per_isp_weights[hop.isp].append(
+                        np.full(hop.links.size, demand.volume)
+                    )
+        loads: dict[str, np.ndarray] = {}
+        for isp in self._net.isps:
+            entries = per_isp_links[isp.name]
+            if entries:
+                loads[isp.name] = np.bincount(
+                    np.concatenate(entries),
+                    weights=np.concatenate(per_isp_weights[isp.name]),
+                    minlength=isp.n_links(),
+                )
+            else:
+                loads[isp.name] = np.zeros(isp.n_links())
+        return loads
+
+    def loads(self) -> dict[str, np.ndarray]:
+        """Per-ISP background link loads of the current chains (cached).
+
+        Callers must treat the returned arrays as read-only; the dict is
+        re-derived only when a severance dirtied the chains.
+        """
+        if self._loads_cache is None:
+            self._loads_cache = self._accumulate(self._chains)
+        return self._loads_cache
+
+    def loads_after(
+        self, edge_index: int, columns: Collection[int]
+    ) -> dict[str, np.ndarray]:
+        """Pure preview: loads as if ``columns`` were severed on one edge.
+
+        Re-derives only the crossing chains against the hypothetical
+        blocked map and accumulates; the index itself is not mutated.
+        This is the incremental engine's post-failure refresh, exposed
+        side-effect-free for benchmarks and what-if probes.
+        """
+        blocked = {edge: set(cols) for edge, cols in self._blocked.items()}
+        blocked.setdefault(edge_index, set()).update(columns)
+        chains = list(self._chains)
+        for demand_id in self._crossing.get(edge_index, ()):
+            chains[demand_id] = self._derive(
+                self._demands[demand_id], blocked
+            )
+        return self._accumulate(chains)

@@ -1,0 +1,137 @@
+"""Property tests for the peering line-graph conflict coloring.
+
+Hypothesis drives the three contracts the coordinator's schedule rests
+on: the coloring is *proper* (no two same-color edges share a member
+ISP), *deterministic in the seed*, and *invariant to the enumeration
+order* of the edge list. The unit tests pin the class-structure shape
+(contiguous colors, ascending partition) and the degree bound of greedy
+line-graph coloring.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import (
+    EdgeColoring,
+    color_peering_edges,
+    is_proper_coloring,
+)
+from repro.errors import ConfigurationError
+
+_NAMES = [f"isp{i:02d}" for i in range(10)]
+
+edge_pairs = st.tuples(
+    st.sampled_from(_NAMES), st.sampled_from(_NAMES)
+).filter(lambda pair: pair[0] != pair[1])
+
+edge_lists = st.lists(edge_pairs, max_size=30)
+
+#: Unique (as unordered pairs) edge lists, for the per-edge invariance
+#: property — duplicates are interchangeable, so only the multiset of
+#: their colors is invariant, not the per-index assignment.
+unique_edge_lists = edge_lists.map(
+    lambda edges: list(
+        {tuple(sorted(pair)): pair for pair in edges}.values()
+    )
+)
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=200, deadline=None)
+def test_coloring_is_proper(edges, seed):
+    coloring = color_peering_edges(edges, seed=seed)
+    assert is_proper_coloring(edges, coloring.colors)
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_coloring_is_seed_deterministic(edges, seed):
+    assert color_peering_edges(edges, seed=seed) == color_peering_edges(
+        edges, seed=seed
+    )
+
+
+@given(
+    edges=unique_edge_lists,
+    seed=st.integers(0, 2**31 - 1),
+    shuffle_seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_coloring_is_enumeration_order_invariant(
+    edges, seed, shuffle_seed
+):
+    from repro.util.rng import derive_rng
+
+    base = color_peering_edges(edges, seed=seed)
+    permutation = list(
+        derive_rng(shuffle_seed, "test-shuffle").permutation(len(edges))
+    )
+    shuffled = [edges[i] for i in permutation]
+    reshuffled = color_peering_edges(shuffled, seed=seed)
+    # Edge identity follows the pair, not the list position.
+    for new_index, old_index in enumerate(permutation):
+        assert reshuffled.colors[new_index] == base.colors[old_index]
+    assert reshuffled.n_colors == base.n_colors
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_classes_partition_edges_ascending(edges, seed):
+    coloring = color_peering_edges(edges, seed=seed)
+    flat = [i for group in coloring.classes for i in group]
+    assert sorted(flat) == list(range(len(edges)))
+    for color, group in enumerate(coloring.classes):
+        assert group, "color classes are contiguous and non-empty"
+        assert list(group) == sorted(group)
+        for index in group:
+            assert coloring.colors[index] == color
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_greedy_degree_bound(edges, seed):
+    coloring = color_peering_edges(edges, seed=seed)
+    degree: dict[str, int] = {}
+    for a, b in edges:
+        degree[a] = degree.get(a, 0) + 1
+        degree[b] = degree.get(b, 0) + 1
+    max_degree = max(degree.values(), default=0)
+    assert coloring.n_colors <= max(2 * max_degree - 1, 0)
+
+
+class TestColoringUnits:
+    def test_empty(self):
+        coloring = color_peering_edges([])
+        assert coloring == EdgeColoring(colors=(), classes=())
+        assert coloring.n_colors == 0
+        assert coloring.max_class_size == 0
+
+    def test_chain_stays_narrow(self):
+        # Greedy over a permuted path needs 2 colors in the best order
+        # and never more than 3, however many ISPs join the chain.
+        edges = [
+            (f"isp{i:02d}", f"isp{i + 1:02d}") for i in range(20)
+        ]
+        for seed in range(8):
+            coloring = color_peering_edges(edges, seed=seed)
+            assert 2 <= coloring.n_colors <= 3
+            assert is_proper_coloring(edges, coloring.colors)
+
+    def test_star_needs_degree_colors(self):
+        edges = [("hub", f"leaf{i}") for i in range(5)]
+        coloring = color_peering_edges(edges, seed=3)
+        assert coloring.n_colors == 5
+        assert coloring.max_class_size == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError, match="self-loop"):
+            color_peering_edges([("a", "b"), ("c", "c")])
+
+    def test_is_proper_rejects_shared_isp(self):
+        edges = [("a", "b"), ("b", "c")]
+        assert not is_proper_coloring(edges, [0, 0])
+        assert is_proper_coloring(edges, [0, 1])
+        assert not is_proper_coloring(edges, [0])

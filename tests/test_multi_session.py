@@ -321,3 +321,273 @@ class TestScaleSpineThreading:
             mels[names.index(edge.isp_b.name)],
         )
         assert t <= coordinated + 1e-9
+
+
+def _trajectory_signature(result):
+    """Everything a run observably produced, for bit-identity diffs."""
+    rounds = [
+        (
+            round_.round_index,
+            round_.order,
+            round_.color_schedule,
+            [
+                (
+                    r.round_index, r.slot, r.edge_index, r.pair_name,
+                    r.scope_size, r.ran_session, r.adopted, r.n_changed,
+                    tuple(r.mel_per_isp), r.global_mel, r.fault,
+                    r.n_rerouted,
+                )
+                for r in round_.records
+            ],
+        )
+        for round_ in result.rounds
+    ]
+    return (
+        result.stop_reason, result.converged, result.n_colors, rounds,
+        [tuple(c) for c in result.choices],
+    )
+
+
+class TestScaleKnobValidation:
+    def test_bad_transit_engine(self, config):
+        with pytest.raises(ConfigurationError, match="transit_engine"):
+            MultiSessionCoordinator(
+                _net(2), config=config, transit_engine="psychic"
+            )
+
+    def test_bad_coord_workers(self, config):
+        for bogus in (True, 1.5):
+            with pytest.raises(ConfigurationError, match="workers"):
+                MultiSessionCoordinator(
+                    _net(2), config=config, coord_workers=bogus
+                )
+
+    def test_workers_refuse_fault_plan(self, config):
+        from repro.core.faults import FaultEvent, FaultPlan
+
+        plan = FaultPlan(events=(FaultEvent(0, 0, "abort"),))
+        with pytest.raises(ConfigurationError, match="coord_workers"):
+            MultiSessionCoordinator(
+                _net(3), config=config, coord_workers=2, fault_plan=plan
+            )
+
+    def test_workers_allow_empty_fault_plan(self, config):
+        from repro.core.faults import FaultPlan
+
+        coordinator = MultiSessionCoordinator(
+            _net(2), config=config, coord_workers=2,
+            fault_plan=FaultPlan(),
+        )
+        assert coordinator.coord_workers == 2
+
+
+class TestColoredSchedule:
+    def test_schedule_covers_round_order(self, chain3_result):
+        for round_ in chain3_result.rounds:
+            flat = tuple(
+                edge for group in round_.color_schedule for edge in group
+            )
+            assert flat == round_.order
+            for group in round_.color_schedule:
+                assert list(group) == sorted(group)
+
+    def test_classes_are_conflict_free(self, config):
+        net = _net(5, shape="random")
+        coordinator = MultiSessionCoordinator(net, config=config)
+        for group in coordinator._coloring.classes:
+            touched: set[str] = set()
+            for edge_index in group:
+                edge = net.edges[edge_index]
+                assert edge.isp_a.name not in touched
+                assert edge.isp_b.name not in touched
+                touched.update((edge.isp_a.name, edge.isp_b.name))
+
+    def test_result_reports_colors(self, chain3_result):
+        assert chain3_result.n_colors == 2
+        assert chain3_result.n_colors <= len(chain3_result.edge_names)
+
+    def test_instrumentation_populated(self, chain3_result):
+        for round_ in chain3_result.rounds:
+            assert len(round_.color_timings) == len(round_.color_schedule)
+            assert all(t >= 0.0 for t in round_.color_timings)
+            assert sorted(round_.edge_timings) == sorted(round_.order)
+            assert round_.potential == round_.global_mel + round_.n_changed
+        summary = chain3_result.timing_summary()
+        assert sorted(summary["per_edge"]) == [0, 1]
+        assert len(summary["per_round_colors"]) == len(chain3_result.rounds)
+
+    def test_potential_trajectory_tracks_rounds(self, chain3_result):
+        trajectory = chain3_result.potential_trajectory()
+        assert trajectory == [
+            (r.global_mel, r.n_changed) for r in chain3_result.rounds
+        ]
+        # A converged run's final round moved nothing.
+        assert trajectory[-1][1] == 0
+
+
+class TestWorkerDifferential:
+    """Colored-parallel execution must be bit-identical to serial."""
+
+    @pytest.mark.parametrize("shape", ["chain", "ring", "random"])
+    def test_workers_match_serial(self, config, shape):
+        net = _net(4, shape=shape)
+        serial = MultiSessionCoordinator(
+            net, config=config, max_rounds=6, transit_scale=3.0,
+        ).run()
+        for workers in (2, 4):
+            parallel = MultiSessionCoordinator(
+                net, config=config, max_rounds=6, transit_scale=3.0,
+                coord_workers=workers,
+            ).run()
+            assert _trajectory_signature(parallel) == \
+                _trajectory_signature(serial)
+
+    def test_random_order_matches_serial(self, config):
+        net = _net(4, shape="ring")
+        kwargs = dict(
+            config=config, max_rounds=6, transit_scale=3.0,
+            order="random", seed=11,
+        )
+        serial = MultiSessionCoordinator(net, **kwargs).run()
+        parallel = MultiSessionCoordinator(
+            net, coord_workers=2, **kwargs
+        ).run()
+        assert _trajectory_signature(parallel) == \
+            _trajectory_signature(serial)
+
+
+class TestTransitEngines:
+    """incremental and legacy transit backends are pinned bit-identical."""
+
+    @pytest.mark.parametrize("shape", ["chain", "random"])
+    def test_engines_bit_identical(self, config, shape):
+        net = _net(4, shape=shape)
+        kwargs = dict(config=config, max_rounds=6, transit_scale=3.0)
+        incremental = MultiSessionCoordinator(
+            net, transit_engine="incremental", **kwargs
+        ).run()
+        legacy = MultiSessionCoordinator(
+            net, transit_engine="legacy", **kwargs
+        ).run()
+        assert _trajectory_signature(incremental) == \
+            _trajectory_signature(legacy)
+
+    def test_engines_bit_identical_under_severance(self, config):
+        from repro.core.faults import FaultEvent, FaultPlan
+
+        net = _net(4)
+        plan = FaultPlan(events=(
+            FaultEvent(1, 1, "link_failure", columns=(0,)),
+        ))
+        kwargs = dict(
+            config=config, max_rounds=6, transit_scale=3.0,
+            fault_plan=plan,
+        )
+        incremental = MultiSessionCoordinator(
+            net, transit_engine="incremental", **kwargs
+        ).run()
+        legacy = MultiSessionCoordinator(
+            net, transit_engine="legacy", **kwargs
+        ).run()
+        assert _trajectory_signature(incremental) == \
+            _trajectory_signature(legacy)
+
+    def test_severance_refreshes_transit_background(self, config):
+        from repro.core.faults import FaultEvent, FaultPlan
+
+        net = _net(4)
+        reference = MultiSessionCoordinator(
+            net, config=config, transit_scale=3.0
+        )
+        index = reference._transit_index
+        assert index is not None
+        crossed = min(
+            e for e in range(net.n_edges()) if index.crossing(e)
+        )
+        coordinator = MultiSessionCoordinator(
+            net, config=config, transit_scale=3.0,
+            fault_plan=FaultPlan(events=(
+                FaultEvent(0, crossed, "link_failure", columns=(0,)),
+            )),
+        )
+        before = {
+            name: loads.copy()
+            for name, loads in coordinator._transit.items()
+        }
+        coordinator.run()
+        changed = any(
+            not np.array_equal(before[name], coordinator._transit[name])
+            for name in before
+        )
+        assert changed, "a crossed severance must re-route some transit"
+
+
+class TestOscillationDetection:
+    def test_oscillating_run_stops_with_warning(self, config, monkeypatch):
+        from repro.core.outcomes import TerminationReason
+        from repro.errors import CoordinationOscillationWarning
+
+        net = _net(3)
+        coordinator = MultiSessionCoordinator(
+            net, config=config, max_rounds=10, include_transit=False,
+        )
+
+        # Force a two-cycle: every session flips every flow between
+        # alternatives 0 and 1, and the Pareto gate always accepts.
+        def flip_session(edge_index, scope, base_a, base_b,
+                         max_session_rounds=None, choices=None):
+            current = (
+                choices if choices is not None
+                else coordinator._choices[edge_index]
+            )
+            flipped = np.where(current[scope] == 0, 1, 0).astype(np.intp)
+            return flipped, TerminationReason.NO_JOINT_GAIN
+
+        monkeypatch.setattr(coordinator, "_run_session", flip_session)
+        monkeypatch.setattr(
+            coordinator, "_edge_mels", lambda *args: (0.0, 0.0)
+        )
+        monkeypatch.setattr(
+            coordinator,
+            "_scope",
+            lambda edge_index, base_a, base_b: np.arange(
+                coordinator._tables[edge_index].n_flows, dtype=np.intp
+            ),
+        )
+        with pytest.warns(
+            CoordinationOscillationWarning, match="oscillating"
+        ):
+            result = coordinator.run()
+        # The forced map is an involution on {0, 1} placements, so the
+        # run enters a two-cycle within its first round or two and the
+        # fingerprint check catches the first revisit.
+        assert result.stop_reason == "oscillating"
+        assert not result.converged
+        assert 2 <= len(result.rounds) <= 3
+        assert len(result.rounds) < coordinator.max_rounds
+        assert all(round_.n_changed > 0 for round_ in result.rounds)
+
+    def test_convergent_run_never_warns(self, config):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            result = MultiSessionCoordinator(
+                _net(3), config=config, max_rounds=6, transit_scale=3.0
+            ).run()
+        assert result.stop_reason == "converged"
+
+
+class TestSingleIspRegression:
+    def test_single_isp_is_immediately_converged(self, config):
+        members = _net(3).isps
+        net = Internetwork([members[0]], [])
+        result = MultiSessionCoordinator(net, config=config).run()
+        assert result.converged
+        assert result.stop_reason == "converged"
+        assert result.rounds == []
+        assert result.n_colors == 0
+        assert result.potential_trajectory() == []
+        assert result.timing_summary() == {
+            "per_edge": {}, "per_round_colors": [],
+        }

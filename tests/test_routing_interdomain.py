@@ -185,3 +185,146 @@ class TestTransitDemandHops:
         name = chain4.names()[0]
         with pytest.raises(RoutingError, match="distinct endpoint"):
             transit_demand_hops(chain4, chain4_routes, name, 0, name, {})
+
+
+class TestBlockedExits:
+    def test_blocked_column_is_avoided(self, chain4):
+        edge = chain4.edges[0]
+        routing = IntradomainRouting(edge.isp_a)
+        preferred = early_exit_for_pop(edge, 0, "a", routing)
+        survivor = early_exit_for_pop(
+            edge, 0, "a", routing, blocked=(preferred,)
+        )
+        assert survivor != preferred
+        assert 0 <= survivor < edge.n_interconnections()
+
+    def test_blocked_choice_is_best_survivor(self, chain4):
+        edge = chain4.edges[0]
+        routing = IntradomainRouting(edge.isp_a)
+        exit_pops = edge.exit_pops("a")
+        blocked = (0,)
+        chosen = early_exit_for_pop(edge, 2, "a", routing, blocked=blocked)
+        best = min(
+            (i for i in range(len(exit_pops)) if i not in blocked),
+            key=lambda i: (routing.weight_distance(exit_pops[i], 2), i),
+        )
+        assert chosen == best
+
+    def test_all_blocked_raises(self, chain4):
+        edge = chain4.edges[0]
+        everything = tuple(range(edge.n_interconnections()))
+        with pytest.raises(RoutingError, match="blocked"):
+            early_exit_for_pop(edge, 0, "a", blocked=everything)
+
+    def test_empty_blocked_matches_unblocked(self, chain4):
+        edge = chain4.edges[0]
+        routing = IntradomainRouting(edge.isp_a)
+        for pop in range(edge.isp_a.n_pops()):
+            assert early_exit_for_pop(
+                edge, pop, "a", routing, blocked=()
+            ) == early_exit_for_pop(edge, pop, "a", routing)
+
+
+def _chain4_demands(net):
+    """Every non-adjacent ordered pair, a demand per low source PoP."""
+    from repro.routing.interdomain import TransitDemand
+
+    names = net.names()
+    demands = []
+    for i, src in enumerate(names):
+        for j, dst in enumerate(names):
+            if abs(i - j) < 2:
+                continue
+            for pop in range(min(3, net.get(src).n_pops())):
+                demands.append(TransitDemand(
+                    src_isp=src, src_pop=pop, dst_isp=dst,
+                    volume=1.0 + 0.25 * pop + 0.5 * i,
+                ))
+    return demands
+
+
+def _legacy_loads(net, routes, demands, blocked=None):
+    loads = {isp.name: np.zeros(isp.n_links()) for isp in net.isps}
+    routings: dict = {}
+    for demand in demands:
+        hops = transit_demand_hops(
+            net, routes, demand.src_isp, demand.src_pop, demand.dst_isp,
+            routings, blocked=blocked,
+        )
+        for hop in hops:
+            loads[hop.isp][hop.links] += demand.volume
+    return loads
+
+
+class TestTransitLoadIndex:
+    @pytest.fixture()
+    def index(self, chain4, chain4_routes):
+        from repro.routing.interdomain import TransitLoadIndex
+
+        return TransitLoadIndex(
+            chain4, chain4_routes, {}, _chain4_demands(chain4)
+        )
+
+    def test_loads_match_legacy_loop_bitwise(
+        self, chain4, chain4_routes, index
+    ):
+        legacy = _legacy_loads(
+            chain4, chain4_routes, _chain4_demands(chain4)
+        )
+        loads = index.loads()
+        assert set(loads) == set(legacy)
+        for name in loads:
+            assert np.array_equal(loads[name], legacy[name])
+
+    def test_sever_matches_full_rederivation(self, chain4, chain4_routes):
+        from repro.routing.interdomain import TransitLoadIndex
+
+        demands = _chain4_demands(chain4)
+        index = TransitLoadIndex(chain4, chain4_routes, {}, demands)
+        crossed = min(
+            e for e in range(chain4.n_edges()) if index.crossing(e)
+        )
+        rerouted = index.sever(crossed, {0})
+        assert rerouted == len(index.crossing(crossed))
+        legacy = _legacy_loads(
+            chain4, chain4_routes, demands, blocked={crossed: {0}}
+        )
+        loads = index.loads()
+        for name in loads:
+            assert np.array_equal(loads[name], legacy[name])
+
+    def test_sever_already_blocked_is_noop(self, chain4, index):
+        crossed = min(
+            e for e in range(chain4.n_edges()) if index.crossing(e)
+        )
+        assert index.sever(crossed, {1}) > 0
+        before = index.loads()
+        assert index.sever(crossed, {1}) == 0
+        after = index.loads()
+        assert all(
+            np.array_equal(before[name], after[name]) for name in before
+        )
+
+    def test_crossing_sets_cover_chain_transit(self, chain4, index):
+        # On a chain every inner edge carries some end-to-end transit.
+        crossed = [e for e in range(chain4.n_edges()) if index.crossing(e)]
+        assert crossed, "chain transit must cross at least one edge"
+        for e in crossed:
+            assert index.crossing(e) == tuple(sorted(index.crossing(e)))
+
+    def test_loads_after_is_pure(self, chain4, chain4_routes, index):
+        crossed = min(
+            e for e in range(chain4.n_edges()) if index.crossing(e)
+        )
+        before = {k: v.copy() for k, v in index.loads().items()}
+        preview = index.loads_after(crossed, (0,))
+        legacy = _legacy_loads(
+            chain4, chain4_routes, _chain4_demands(chain4),
+            blocked={crossed: {0}},
+        )
+        for name in preview:
+            assert np.array_equal(preview[name], legacy[name])
+        after = index.loads()
+        for name in before:
+            assert np.array_equal(before[name], after[name])
+        assert index.blocked == {}
