@@ -194,6 +194,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="processes per color class inside each "
                               "coordination round (-1: all cores; "
                               "default: serial)")
+    p_multi.add_argument("--damping", choices=("off", "ladder"),
+                         default=None,
+                         help="oscillation response: off = stop on a "
+                              "fingerprint revisit, ladder = escalate "
+                              "hysteresis then seeded perturbation "
+                              "(default: the config's, normally off)")
+    p_multi.add_argument("--hysteresis-margin", type=float, default=None,
+                         metavar="E",
+                         help="required per-endpoint MEL improvement on "
+                              "cycle-implicated edges while damping "
+                              "hysteresis is armed (default: the "
+                              "config's, normally 0.05)")
 
     p_robust = sub.add_parser(
         "robust",
@@ -430,6 +442,8 @@ def _run_multi_isp(args: argparse.Namespace, out) -> int:
         transit_scale=args.transit_scale,
         transit_engine=args.transit_engine,
         coord_workers=args.coord_workers,
+        damping=args.damping,
+        hysteresis_margin=args.hysteresis_margin,
         **_runner_kwargs(args),
     )
     print(f"internetwork: {len(result.isp_names)} ISPs "

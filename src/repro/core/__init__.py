@@ -53,6 +53,11 @@ from repro.core.scenario_aware import (  # noqa: E402
     ScenarioAwareEvaluator,
     scenario_placement_mels,
 )
+from repro.core.damping import (  # noqa: E402
+    CycleReport,
+    DampingConfig,
+    DampingController,
+)
 from repro.core.faults import FaultEvent, FaultPlan  # noqa: E402
 from repro.core.multi_session import (  # noqa: E402
     CoordinationRound,
@@ -109,6 +114,9 @@ __all__ = [
     "message_from_dict",
     "FaultEvent",
     "FaultPlan",
+    "DampingConfig",
+    "DampingController",
+    "CycleReport",
     "MultiSessionCoordinator",
     "MultiNegotiationResult",
     "CoordinationRound",

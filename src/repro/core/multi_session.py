@@ -68,7 +68,20 @@ edge (``"legacy"`` re-derives all of them; both pinned bit-identical).
 flows moved), per-color/per-edge wall timings, and oscillation detection
 — a round that moves flows yet lands on a previously seen global
 assignment fingerprint warns :class:`CoordinationOscillationWarning` and
-stops with ``stop_reason="oscillating"``.
+stops with ``stop_reason="oscillating"``. Under ``order="random"`` the
+fingerprint additionally mixes in the order stream's generator state:
+a revisited assignment alone does not imply a cycle while the per-round
+class order still draws from the RNG, so only a revisit of the full
+(assignment, stream) state counts.
+
+Damping (PR 10): with ``damping="ladder"`` a fingerprint revisit
+escalates through :mod:`repro.core.damping` instead of aborting —
+hysteresis on the Pareto gate of the cycle-implicated edges (adoption
+requires each endpoint to improve by ``hysteresis_margin``, decaying
+over clean rounds), then seeded tie-break perturbation of those edges'
+scopes — re-driving the run to a fixed point within a bounded
+escalation budget before falling back to ``stop_reason="oscillating"``.
+``damping="off"`` (the default) is bit-identical to the PR 9 loop.
 """
 
 from __future__ import annotations
@@ -87,6 +100,7 @@ from repro.capacity.loads import link_loads
 from repro.capacity.provisioning import ProportionalCapacity
 from repro.core.agent import NegotiationAgent
 from repro.core.coloring import EdgeColoring, color_peering_edges
+from repro.core.damping import DampingConfig, DampingController
 from repro.core.evaluators import LoadAwareEvaluator
 from repro.core.faults import FaultPlan
 from repro.core.outcomes import TerminationReason
@@ -242,8 +256,13 @@ class MultiNegotiationResult:
     exhausted), ``"quarantined"`` (budget exhausted with at least one
     edge still benched by failure backoff) or ``"oscillating"`` (a round
     moved flows yet reproduced an earlier global assignment — the
-    deterministic loop would cycle forever). ``n_colors`` is the colored
-    schedule's class count — the round's concurrency width.
+    deterministic loop would cycle forever and damping was off or its
+    escalation budget spent). ``n_colors`` is the colored schedule's
+    class count — the round's concurrency width.
+
+    ``converged`` and ``stop_reason`` are two views of one fact and
+    construction enforces their agreement:
+    ``converged == (stop_reason == "converged")``.
     """
 
     isp_names: tuple[str, ...]
@@ -255,6 +274,14 @@ class MultiNegotiationResult:
     defaults: list[np.ndarray]
     stop_reason: str = "converged"
     n_colors: int = 0
+
+    def __post_init__(self) -> None:
+        validate_choice(self.stop_reason, _STOP_REASONS, "stop_reason")
+        if self.converged != (self.stop_reason == "converged"):
+            raise ConfigurationError(
+                f"converged={self.converged} contradicts "
+                f"stop_reason={self.stop_reason!r}"
+            )
 
     @property
     def initial_mel(self) -> float:
@@ -347,6 +374,16 @@ class MultiSessionCoordinator:
     per-endpoint CVaR_q MEL to the re-agreement Pareto gate. All default
     to off; the defaults leave every pre-existing code path untouched.
 
+    Damping knobs: ``damping`` selects the fingerprint-revisit response
+    (``"off"`` aborts with ``stop_reason="oscillating"``; ``"ladder"``
+    escalates through hysteresis and seeded scope perturbation — see
+    :mod:`repro.core.damping`); ``hysteresis_margin`` is rung 1's
+    required per-endpoint improvement and ``damping_budget`` bounds the
+    escalations before falling back to the abort. ``damping`` and
+    ``hysteresis_margin`` default to ``None`` = inherit
+    ``config.damping`` / ``config.hysteresis_margin``, so sweeps thread
+    them through :class:`~repro.experiments.config.ExperimentConfig`.
+
     Scale knobs: ``coord_workers`` (the ``resolve_workers`` contract of
     :mod:`repro.experiments.parallel`: ``None``/0/1 serial, ``-1`` one
     per CPU, N >= 2 exactly N) runs each color class's sessions on a
@@ -381,6 +418,9 @@ class MultiSessionCoordinator:
         quarantine_after: int = 2,
         quarantine_backoff_rounds: int = 1,
         quarantine_backoff_cap: int = 8,
+        damping: str | None = None,
+        hysteresis_margin: float | None = None,
+        damping_budget: int = 4,
     ):
         # Imported lazily: core must not depend on the experiments
         # package at module load (the experiment drivers import core).
@@ -444,6 +484,19 @@ class MultiSessionCoordinator:
         self.quarantine_after = quarantine_after
         self.quarantine_backoff_rounds = quarantine_backoff_rounds
         self.quarantine_backoff_cap = quarantine_backoff_cap
+        # None defers to the experiment config, so sweeps thread damping
+        # through ExperimentConfig while direct callers can override.
+        self.damping_config = DampingConfig(
+            mode=self.config.damping if damping is None else damping,
+            hysteresis_margin=(
+                self.config.hysteresis_margin
+                if hysteresis_margin is None
+                else hysteresis_margin
+            ),
+            budget=damping_budget,
+        )
+        #: The run-scoped damping state machine; live only inside run().
+        self._damping: DampingController | None = None
 
         self._routings = {
             isp.name: IntradomainRouting(
@@ -1112,20 +1165,26 @@ class MultiSessionCoordinator:
         is fault-free *and* changes nothing: an aborted, deadline-expired
         or quarantined slot defers work to a later round, so such a round
         cannot witness a fixed point. A round that moves flows yet lands
-        on a previously seen global assignment fingerprint stops the loop
-        with ``stop_reason="oscillating"`` and a
+        on a previously seen global assignment fingerprint is handed to
+        the damping controller: with ``damping="ladder"`` and budget
+        left, the run escalates (hysteresis, then seeded perturbation)
+        and keeps driving toward a fixed point; otherwise the loop stops
+        with ``stop_reason="oscillating"`` and a cycle-attributed
         :class:`CoordinationOscillationWarning`.
         """
         rng = derive_rng(self.seed, "multi-isp-order")
         rounds: list[CoordinationRound] = []
         initial_mels = self._mels()
-        converged = self.net.n_edges() == 0
-        oscillating = False
+        stop_reason: str | None = None
+        if self.net.n_edges() == 0:
+            stop_reason = "converged"
         classes = self._coloring.classes
-        seen_assignments = {self._assignment_fingerprint(): -1}
+        damping = DampingController(self.damping_config, self.seed)
+        self._damping = damping
+        damping.observe(-1, self._assignment_fingerprint(rng), self._choices)
         try:
             for round_index in range(self.max_rounds):
-                if converged:
+                if stop_reason is not None:
                     break
                 class_order = list(range(len(classes)))
                 if self.order == "random":
@@ -1154,35 +1213,54 @@ class MultiSessionCoordinator:
                 if round_.n_changed == 0 and all(
                     r.fault is None for r in round_.records
                 ):
-                    converged = True
+                    stop_reason = "converged"
                     continue
                 if round_.n_changed > 0:
-                    fingerprint = self._assignment_fingerprint()
-                    first_seen = seen_assignments.get(fingerprint)
-                    if first_seen is not None:
-                        oscillating = True
+                    report = damping.observe(
+                        round_index,
+                        self._assignment_fingerprint(rng),
+                        self._choices,
+                    )
+                    if report is not None:
+                        if damping.escalate(report):
+                            _log.warning(
+                                "round %d revisited the assignment of "
+                                "round %d (cycle over %d edge(s)); "
+                                "damping escalated to level %d",
+                                round_index,
+                                report.first_seen_round,
+                                len(report.edge_indices),
+                                damping.level,
+                            )
+                            continue
                         warnings.warn(
                             CoordinationOscillationWarning(
                                 f"round {round_index} moved "
                                 f"{round_.n_changed} flow(s) yet "
                                 "reproduced the global assignment of "
-                                f"round {first_seen}; coordination is "
-                                "oscillating and will not converge"
+                                f"round {report.first_seen_round}; "
+                                "coordination is oscillating and will "
+                                "not converge",
+                                cycle_length=report.cycle_length,
+                                edges=tuple(
+                                    self.net.edges[i].name
+                                    for i in report.edge_indices
+                                ),
                             ),
                             stacklevel=2,
                         )
+                        stop_reason = "oscillating"
                         break
-                    seen_assignments[fingerprint] = round_index
+                damping.note_clean_round()
         finally:
             self._close_pool()
-        if converged:
-            stop_reason = "converged"
-        elif oscillating:
-            stop_reason = "oscillating"
-        elif any(q > len(rounds) for q in self._quarantined_until):
-            stop_reason = "quarantined"
-        else:
-            stop_reason = "max_rounds"
+            self._damping = None
+        if stop_reason is None:
+            if any(q > len(rounds) for q in self._quarantined_until):
+                stop_reason = "quarantined"
+            else:
+                stop_reason = "max_rounds"
+        converged = stop_reason == "converged"
         if not converged:
             _log.warning(
                 "multi-ISP coordination stopped without convergence "
@@ -1202,11 +1280,22 @@ class MultiSessionCoordinator:
             n_colors=self._coloring.n_colors,
         )
 
-    def _assignment_fingerprint(self) -> str:
-        """A stable digest of the full per-edge placement state."""
+    def _assignment_fingerprint(self, rng=None) -> str:
+        """A stable digest of the full per-edge placement state.
+
+        Under ``order="random"`` the schedule itself is part of the
+        dynamical state: revisiting a placement under a *different*
+        upcoming shuffle is not a cycle, so the order stream's generator
+        state is mixed into the digest. PCG64 state never recurs within
+        a run, which makes the detector sound (a revisit implies the
+        exact same future) rather than falsely flagging placements that
+        coincide under divergent schedules.
+        """
         digest = hashlib.sha256()
         for choices in self._choices:
             digest.update(np.ascontiguousarray(choices).tobytes())
+        if rng is not None and self.order == "random":
+            digest.update(repr(rng.bit_generator.state).encode())
         return digest.hexdigest()
 
     # -- color-class execution -------------------------------------------------
@@ -1401,6 +1490,12 @@ class MultiSessionCoordinator:
             scope = np.arange(self._tables[edge_index].n_flows, dtype=np.intp)
         else:
             scope = self._scope(edge_index, base_a, base_b)
+        if self._damping is not None:
+            # Damping rung 2: thin a cycle-implicated edge's scope to a
+            # seeded subset, desynchronizing lockstep flow swaps. A
+            # parent-side decision (like all of begin), so serial and
+            # pooled schedules see identical scopes.
+            scope = self._damping.perturb_scope(edge_index, round_index, scope)
         if scope.size == 0:
             return skip(set_context=True)
 
@@ -1510,7 +1605,20 @@ class MultiSessionCoordinator:
             new_a, new_b = self._edge_mels(
                 edge_index, proposal, base_a, base_b
             )
-            adopted = new_a <= old_a + _EPS and new_b <= old_b + _EPS
+            margin = (
+                self._damping.margin_for(edge_index)
+                if self._damping is not None
+                else 0.0
+            )
+            if margin > 0.0:
+                # Damping rung 1 (hysteresis): while this edge is
+                # implicated in a detected cycle, a re-agreement must
+                # strictly improve both endpoints by the margin — the
+                # marginal seesaw that fuels a two-cycle no longer
+                # qualifies, so the contested placement freezes.
+                adopted = new_a <= old_a - margin and new_b <= old_b - margin
+            else:
+                adopted = new_a <= old_a + _EPS and new_b <= old_b + _EPS
             if adopted and self.failure_model is not None:
                 old_ra, old_rb = self._edge_cvars(
                     edge_index, self._choices[edge_index], base_a, base_b

@@ -106,8 +106,25 @@ class CoordinationOscillationWarning(UserWarning):
     Emitted by :meth:`~repro.core.multi_session.MultiSessionCoordinator.run`
     when a round that moved flows lands on a global placement fingerprint
     already observed earlier in the run — the deterministic round map will
-    cycle through the same states forever, so the loop stops with
+    cycle through the same states forever — and damping is off or its
+    escalation budget is spent, so the loop stops with
     ``stop_reason="oscillating"`` instead of burning the round budget.
     A :class:`Warning` (not a :class:`ReproError`): the run still returns
     its trajectory; callers opt into strictness with ``warnings`` filters.
+
+    Attributes:
+        cycle_length: rounds the detected cycle spans (2 for the
+            canonical two-cycle), or None if unattributed.
+        edges: names of the edges whose placements move within the
+            cycle, in edge order.
     """
+
+    def __init__(
+        self,
+        message: str,
+        cycle_length: "int | None" = None,
+        edges: "tuple[str, ...]" = (),
+    ):
+        super().__init__(message)
+        self.cycle_length = cycle_length
+        self.edges = tuple(edges)

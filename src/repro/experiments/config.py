@@ -40,6 +40,14 @@ class ExperimentConfig:
         routing_engine: SSSP engine for intradomain routing ("csgraph" =
             batched scipy.sparse.csgraph Dijkstra, "legacy" = per-source
             networkx; bit-identical on tie-free topologies).
+        damping: what multi-ISP coordination does on a fingerprint
+            revisit ("off" = stop with ``stop_reason="oscillating"``,
+            the PR 9 behaviour; "ladder" = escalate through hysteresis
+            and seeded perturbation first; see
+            :mod:`repro.core.damping`).
+        hysteresis_margin: required per-endpoint MEL improvement for
+            re-agreements on cycle-implicated edges while the damping
+            ladder's hysteresis rung is armed.
     """
 
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
@@ -52,14 +60,20 @@ class ExperimentConfig:
     seed: int = 7
     lp_solver: str = "highs"
     routing_engine: str = "csgraph"
+    damping: str = "off"
+    hysteresis_margin: float = 0.05
 
     def __post_init__(self) -> None:
+        from repro.core.damping import DAMPING_MODES
         from repro.optimal.solver import available_lp_solvers
         from repro.routing.paths import SSSP_ENGINES
         from repro.util.validation import validate_choice
 
         validate_choice(self.lp_solver, available_lp_solvers(), "lp_solver")
         validate_choice(self.routing_engine, SSSP_ENGINES, "routing_engine")
+        validate_choice(self.damping, DAMPING_MODES, "damping")
+        if self.hysteresis_margin <= 0:
+            raise ConfigurationError("hysteresis_margin must be > 0")
         if self.preference_p < 1:
             raise ConfigurationError("preference_p must be >= 1")
         if self.ratio_unit <= 0:

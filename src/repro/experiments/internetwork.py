@@ -66,6 +66,10 @@ _MULTI_ISP_DEFAULTS: dict[str, Any] = {
     "subset_engine": "incidence",
     "transit_engine": "incremental",
     "coord_workers": None,
+    # None = inherit config.damping / config.hysteresis_margin, so one
+    # ExperimentConfig threads the damping ladder through whole sweeps.
+    "damping": None,
+    "hysteresis_margin": None,
 }
 
 #: Params that shape the internetwork itself (vs. the coordination).
@@ -136,6 +140,8 @@ def _coordinator_result(config: ExperimentConfig, params: Mapping[str, Any]):
         subset_engine=str(params["subset_engine"]),
         transit_engine=str(params["transit_engine"]),
         coord_workers=params["coord_workers"],
+        damping=params["damping"],
+        hysteresis_margin=params["hysteresis_margin"],
     ).run()
     _cache_put(_trajectory_cache, key, result, _TRAJECTORY_CACHE_SIZE)
     return result
@@ -358,7 +364,7 @@ def run_multi_isp(
     coordinator_kwargs.setdefault("max_rounds", _MULTI_ISP_DEFAULTS["rounds"])
     for key in (
         "order", "include_transit", "transit_scale", "subset_engine",
-        "transit_engine", "coord_workers",
+        "transit_engine", "coord_workers", "damping", "hysteresis_margin",
     ):
         coordinator_kwargs.setdefault(key, _MULTI_ISP_DEFAULTS[key])
     return MultiSessionCoordinator(
@@ -380,6 +386,8 @@ def run_multi_isp_experiment(
     transit_scale: float = 3.0,
     transit_engine: str = "incremental",
     coord_workers: int | None = None,
+    damping: str | None = None,
+    hysteresis_margin: float | None = None,
     workers: int | None = None,
     checkpoint_dir=None,
     resume: bool = False,
@@ -396,6 +404,10 @@ def run_multi_isp_experiment(
     results. ``coord_workers`` is orthogonal: it parallelizes the color
     classes *inside* the replayed coordination (also bit-identical), while
     ``transit_engine`` picks the pinned-identical transit backend.
+    ``damping`` / ``hysteresis_margin`` select the oscillation response
+    (see :mod:`repro.core.damping`); ``None`` inherits the config's
+    values, and the controller runs entirely in the replay parent, so
+    damped sweeps keep the bit-identical worker-count contract.
     """
     params = dict(
         n_isps=n_isps,
@@ -410,6 +422,8 @@ def run_multi_isp_experiment(
         transit_scale=transit_scale,
         transit_engine=transit_engine,
         coord_workers=coord_workers,
+        damping=damping,
+        hysteresis_margin=hysteresis_margin,
     )
     return SweepRunner(
         workers=workers, checkpoint_dir=checkpoint_dir, resume=resume,

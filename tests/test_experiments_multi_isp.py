@@ -278,7 +278,8 @@ class TestHundredIspScale:
     The colored schedule is what makes these runs tractable: ~180 peering
     edges collapse into single-digit color classes per round, and the
     convergence instrumentation classifies every stop (including a
-    genuine two-cycle the detector catches in the wild at this scale).
+    genuine two-cycle the detector catches in the wild at this scale —
+    and that the damping ladder re-drives to an actual fixed point).
     """
 
     def _hundred(self, seed):
@@ -322,7 +323,43 @@ class TestHundredIspScale:
             )
         assert result.stop_reason == "oscillating"
         assert len(result.rounds) < 12, "detection must save the budget"
-        assert any(
-            issubclass(w.category, CoordinationOscillationWarning)
-            for w in caught
-        )
+        oscillations = [
+            w.message for w in caught
+            if issubclass(w.category, CoordinationOscillationWarning)
+        ]
+        assert oscillations
+        # The wild N=100 cycle is a canonical two-cycle over a handful
+        # of contested edges — the attribution must name them.
+        assert oscillations[0].cycle_length == 2
+        assert oscillations[0].edges
+
+    def test_hundred_isps_redriven_to_convergence_under_damping(
+        self, config
+    ):
+        """The seed-2005 two-cycle, damped: pinned acceptance regression.
+
+        One hysteresis escalation on the contested edges must carry the
+        run to a genuine fixed point, at a final global MEL no worse
+        than where the undamped run aborted.
+        """
+        import warnings
+
+        net = self._hundred(seed=2005)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            undamped = run_multi_isp(
+                config, internetwork=net, include_transit=False,
+                max_rounds=24,
+            )
+        assert undamped.stop_reason == "oscillating"
+        # The damped run absorbs every revisit: no warning escapes.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            damped = run_multi_isp(
+                config, internetwork=net, include_transit=False,
+                max_rounds=24, damping="ladder",
+            )
+        assert damped.stop_reason == "converged"
+        assert damped.converged
+        assert damped.final_mel <= undamped.final_mel + 1e-9
+        assert len(caught) >= 1

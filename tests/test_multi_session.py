@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
 
 import repro.core.multi_session as multi_session
 from repro.capacity.loads import link_loads
@@ -576,6 +578,198 @@ class TestOscillationDetection:
                 _net(3), config=config, max_rounds=6, transit_scale=3.0
             ).run()
         assert result.stop_reason == "converged"
+
+
+def _flip_coordinator(config, monkeypatch, **kwargs):
+    """A 3-ISP coordinator whose sessions flip every flow between 0 and 1.
+
+    The forced map is an involution, so an undamped run enters the
+    canonical two-cycle immediately; ``_edge_mels`` pins both endpoints
+    at 0.0, so the plain Pareto gate always adopts while any armed
+    hysteresis margin always rejects.
+    """
+    from repro.core.outcomes import TerminationReason
+
+    coordinator = MultiSessionCoordinator(
+        _net(3), config=config, max_rounds=10, include_transit=False,
+        **kwargs,
+    )
+
+    def flip_session(edge_index, scope, base_a, base_b,
+                     max_session_rounds=None, choices=None):
+        current = (
+            choices if choices is not None
+            else coordinator._choices[edge_index]
+        )
+        flipped = np.where(current[scope] == 0, 1, 0).astype(np.intp)
+        return flipped, TerminationReason.NO_JOINT_GAIN
+
+    monkeypatch.setattr(coordinator, "_run_session", flip_session)
+    monkeypatch.setattr(coordinator, "_edge_mels", lambda *args: (0.0, 0.0))
+    monkeypatch.setattr(
+        coordinator,
+        "_scope",
+        lambda edge_index, base_a, base_b: np.arange(
+            coordinator._tables[edge_index].n_flows, dtype=np.intp
+        ),
+    )
+    return coordinator
+
+
+class TestDampingLadder:
+    def test_warning_carries_cycle_attribution(self, config, monkeypatch):
+        from repro.errors import CoordinationOscillationWarning
+
+        coordinator = _flip_coordinator(config, monkeypatch)
+        with pytest.warns(CoordinationOscillationWarning) as caught:
+            result = coordinator.run()
+        assert result.stop_reason == "oscillating"
+        warning = caught[0].message
+        assert warning.cycle_length == 2
+        assert warning.edges
+        assert set(warning.edges) <= set(result.edge_names)
+
+    def test_ladder_redrives_flip_cycle_to_convergence(
+        self, config, monkeypatch
+    ):
+        import warnings as warnings_module
+
+        coordinator = _flip_coordinator(
+            config, monkeypatch, damping="ladder"
+        )
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            result = coordinator.run()
+        # The first revisit arms the hysteresis margin on the flipping
+        # edges; under it the zero-gain flips stop qualifying, the next
+        # round moves nothing, and the run converges instead of aborting.
+        assert result.stop_reason == "converged"
+        assert result.converged
+        assert result.rounds[-1].n_changed == 0
+
+    def test_spent_budget_falls_back_to_oscillating(
+        self, config, monkeypatch
+    ):
+        from repro.errors import CoordinationOscillationWarning
+
+        coordinator = _flip_coordinator(
+            config, monkeypatch, damping="ladder", damping_budget=0
+        )
+        with pytest.warns(CoordinationOscillationWarning):
+            result = coordinator.run()
+        assert result.stop_reason == "oscillating"
+
+    def test_damping_knobs_inherit_config(self, monkeypatch):
+        import dataclasses
+
+        config = dataclasses.replace(
+            ExperimentConfig.quick(), damping="ladder",
+            hysteresis_margin=0.2,
+        )
+        coordinator = MultiSessionCoordinator(
+            _net(2), config=config, include_transit=False
+        )
+        assert coordinator.damping_config.mode == "ladder"
+        assert coordinator.damping_config.hysteresis_margin == 0.2
+        override = MultiSessionCoordinator(
+            _net(2), config=config, include_transit=False, damping="off"
+        )
+        assert override.damping_config.mode == "off"
+
+    def test_random_order_fingerprint_mixes_schedule_state(
+        self, config, monkeypatch
+    ):
+        # Regression: under order="random" a placement revisit does not
+        # imply a cycle — the upcoming shuffles differ — so the digest
+        # mixes in the order stream's state and the flip involution no
+        # longer trips the (now unsound-free) detector; the run spends
+        # its round budget instead of falsely diagnosing oscillation.
+        import warnings as warnings_module
+
+        coordinator = _flip_coordinator(config, monkeypatch, order="random")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            result = coordinator.run()
+        assert result.stop_reason == "max_rounds"
+        assert len(result.rounds) == coordinator.max_rounds
+
+
+class TestStopReasonInvariant:
+    def _result(self, stop_reason, converged):
+        return multi_session.MultiNegotiationResult(
+            isp_names=("a", "b"),
+            edge_names=("a--b",),
+            rounds=[],
+            converged=converged,
+            initial_mel_per_isp=(0.0, 0.0),
+            choices=[],
+            defaults=[],
+            stop_reason=stop_reason,
+        )
+
+    def test_consistent_pairs_accepted(self):
+        for stop_reason in multi_session._STOP_REASONS:
+            result = self._result(stop_reason, stop_reason == "converged")
+            assert result.converged == (result.stop_reason == "converged")
+
+    def test_contradictory_pairs_rejected(self):
+        for stop_reason in multi_session._STOP_REASONS:
+            with pytest.raises(ConfigurationError, match="contradicts"):
+                self._result(stop_reason, stop_reason != "converged")
+
+    def test_unknown_stop_reason_rejected(self):
+        with pytest.raises(ConfigurationError, match="stop_reason"):
+            self._result("tired", False)
+
+
+class TestDampingOffEquivalence:
+    """damping="off" must stay bit-identical to the pre-damping loop.
+
+    The controller is observation-only when off (and untriggered when
+    on), so explicit off, the default, and an untriggered ladder must
+    all produce byte-equal trajectories, serially and on workers.
+    """
+
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        shape=st.sampled_from(["chain", "ring", "random"]),
+        seed=st.integers(min_value=2005, max_value=2007),
+    )
+    def test_off_default_and_untriggered_ladder_identical(
+        self, config, shape, seed
+    ):
+        from repro.errors import TopologyError
+
+        try:
+            net = _net(4, shape=shape, seed=seed, pool_size=12)
+        except TopologyError:
+            assume(False)
+        results = [
+            MultiSessionCoordinator(
+                net, config=config, max_rounds=6, include_transit=False,
+                **kwargs,
+            ).run()
+            for kwargs in (
+                {}, {"damping": "off"}, {"damping": "ladder"},
+            )
+        ]
+        assume(results[0].converged)  # a cycle would rightly diverge
+        default, off, ladder = map(_trajectory_signature, results)
+        assert default == off == ladder
+
+    def test_ladder_matches_serial_on_workers(self, config):
+        net = _net(4, shape="ring")
+        serial, pooled = (
+            MultiSessionCoordinator(
+                net, config=config, max_rounds=6, damping="ladder",
+                coord_workers=workers,
+            ).run()
+            for workers in (None, 2)
+        )
+        assert _trajectory_signature(serial) == _trajectory_signature(pooled)
 
 
 class TestSingleIspRegression:
